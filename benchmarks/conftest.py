@@ -1,0 +1,49 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Each benchmark regenerates one paper figure's data at the "fast" scale,
+prints the table, writes it under ``results/`` and asserts the figure's
+qualitative shape (who wins, where the knees are).  Figures 4/5 and 14/15
+are different projections of the same sweep, so those sweeps are cached in
+a session-scoped store and only run once.
+
+Set ``REPRO_SCALE=paper`` in the environment to run the paper-scale
+configurations instead (slow: tens of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "fast")
+
+
+@pytest.fixture(scope="session")
+def sweep_cache() -> dict:
+    """Cross-benchmark cache for shared parameter sweeps."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a result table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, table) -> None:
+        text = table.format()
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Benchmark a simulation exactly once (runs are minutes, not micro)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

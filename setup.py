@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline with setuptools 65 and no ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot build
+their metadata.  ``python setup.py develop`` provides the same editable
+install without needing ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

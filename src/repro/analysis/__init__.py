@@ -1,0 +1,26 @@
+"""Closed-form models from the paper (Sections 4.2.2, 4.2.3, Appendix A)."""
+
+from repro.analysis.aggressiveness import (
+    aimd_aggressiveness_pps,
+    aimd_responsiveness_rtts,
+    f_of_k_aimd_approx,
+    tfrc_responsiveness_rtts,
+)
+from repro.analysis.convergence import (
+    acks_to_fairness,
+    contraction_factor,
+    iterate_expected_windows,
+)
+from repro.analysis.timeouts import Figure20Row, figure20_series
+
+__all__ = [
+    "Figure20Row",
+    "acks_to_fairness",
+    "aimd_aggressiveness_pps",
+    "aimd_responsiveness_rtts",
+    "contraction_factor",
+    "f_of_k_aimd_approx",
+    "figure20_series",
+    "iterate_expected_windows",
+    "tfrc_responsiveness_rtts",
+]

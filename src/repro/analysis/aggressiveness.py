@@ -1,0 +1,71 @@
+"""Aggressiveness, responsiveness and the f(k) approximation.
+
+Definitions from the paper and its companion reports:
+
+* *aggressiveness* — the maximum increase in sending rate in one RTT (in
+  packets per second) absent congestion.  For AIMD(a, b) this is simply
+  ``a`` packets per RTT, i.e. ``a / R`` packets per second per RTT.
+* *responsiveness* — the number of RTTs of persistent congestion (one loss
+  per RTT) until the sender halves its rate; 1 for TCP.
+* Section 4.2.3: for TCP(a, b) after the available bandwidth doubles from
+  lambda to 2 lambda packets/s, f(k) ~ 1/2 + k a / (4 R lambda).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "aimd_aggressiveness_pps",
+    "aimd_responsiveness_rtts",
+    "tfrc_responsiveness_rtts",
+    "f_of_k_aimd_approx",
+]
+
+
+def aimd_aggressiveness_pps(a: float, rtt_s: float) -> float:
+    """Max rate increase per RTT for AIMD(a, b): a packets per RTT."""
+    if a <= 0 or rtt_s <= 0:
+        raise ValueError("a and rtt must be positive")
+    return a / rtt_s
+
+
+def aimd_responsiveness_rtts(b: float) -> int:
+    """RTTs of persistent congestion until AIMD(a, b) halves its rate.
+
+    Each loss multiplies the window by (1 - b): the count is the smallest n
+    with (1 - b)^n <= 1/2.  TCP (b = 1/2) gives 1.
+    """
+    if not 0 < b < 1:
+        raise ValueError("b must be in (0, 1)")
+    return math.ceil(math.log(0.5) / math.log(1.0 - b))
+
+
+def tfrc_responsiveness_rtts(n_intervals: int) -> float:
+    """Rough RTT count for TFRC(k) to halve under persistent congestion.
+
+    With one loss per RTT, each RTT closes a loss interval of about one
+    packet; the averaged interval (and hence the equation rate) falls as
+    the k-deep history fills with short intervals.  The sqrt(p) dependence
+    of the equation means the rate halves once roughly 3/4 of the history
+    has turned bad; the paper reports 4-6 RTTs for the default TFRC(6).
+    """
+    if n_intervals < 1:
+        raise ValueError("need at least one interval")
+    return 0.75 * n_intervals
+
+
+def f_of_k_aimd_approx(
+    k: int, a: float, rtt_s: float, available_pps: float
+) -> float:
+    """Paper's approximation f(k) ~ 1/2 + k a / (4 R lambda), capped at 1.
+
+    ``available_pps`` is the new available bandwidth *before* doubling
+    (lambda, in packets per second); after the doubling the flow starts at
+    half the new capacity and climbs at a packets per RTT.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if a <= 0 or rtt_s <= 0 or available_pps <= 0:
+        raise ValueError("a, rtt and bandwidth must be positive")
+    return min(1.0, 0.5 + k * a / (4.0 * rtt_s * available_pps))

@@ -1,0 +1,60 @@
+"""Appendix A: the role of retransmission timeouts (Figure 20).
+
+Figure 20 compares three throughput models as functions of the packet drop
+rate p:
+
+* "pure AIMD"           — sqrt(1.5 / p) packets/RTT (valid up to p ~ 1/3);
+* "AIMD with timeouts"  — (1/(1-p)) / (2^(1/(1-p)) - 1), the deterministic
+  extension of AIMD to sub-packet-per-RTT rates via exponential backoff
+  (an *upper* bound on TCP at high loss);
+* "Reno TCP"            — the Padhye model with timeouts (a *lower* bound).
+
+:func:`figure20_series` evaluates all three over a grid of drop rates, in
+exactly the form the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cc.equations import (
+    aimd_with_timeouts_rate,
+    padhye_rate_per_rtt,
+    simple_response_rate,
+)
+
+__all__ = ["Figure20Row", "figure20_series"]
+
+
+@dataclass(frozen=True)
+class Figure20Row:
+    """One drop-rate point of Figure 20 (rates in packets per RTT)."""
+
+    p: float
+    pure_aimd: float
+    aimd_with_timeouts: float
+    reno: float
+
+
+def figure20_series(p_values: Sequence[float]) -> list[Figure20Row]:
+    """Evaluate the three Appendix A models over ``p_values``.
+
+    The pure-AIMD model is reported as NaN above p = 1/3 where the paper
+    notes it no longer applies (sending rate below one packet per RTT).
+    """
+    rows = []
+    for p in p_values:
+        if not 0 < p < 1:
+            raise ValueError("drop rates must be in (0, 1)")
+        pure = simple_response_rate(p) if p <= 1.0 / 3.0 else math.nan
+        rows.append(
+            Figure20Row(
+                p=p,
+                pure_aimd=pure,
+                aimd_with_timeouts=aimd_with_timeouts_rate(p),
+                reno=padhye_rate_per_rtt(p),
+            )
+        )
+    return rows

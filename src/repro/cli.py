@@ -1,0 +1,119 @@
+"""Command-line interface: regenerate paper figures from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig05                 # fast scale, print the table
+    python -m repro run fig05 --scale paper   # the paper's parameters
+    python -m repro run all --out results/    # everything, persisted
+    python -m repro run fig04 --chart         # ASCII rendering of the shape
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments import ALL_FIGURES, EXTENSIONS
+from repro.experiments.runner import Table
+from repro.viz import line_chart
+
+__all__ = ["main"]
+
+
+def _figure_chart(name: str, table: Table) -> Optional[str]:
+    """Best-effort ASCII chart for a figure's table, if it is chartable."""
+    columns = table.columns
+    # Tables shaped (group, x, y): one series per group.
+    if len(columns) == 3:
+        group_col, x_col, y_col = columns
+        series: dict[str, list[tuple[float, float]]] = {}
+        for group, x, y in table.rows:
+            try:
+                series.setdefault(str(group), []).append((float(x), float(y)))
+            except (TypeError, ValueError):
+                return None
+        try:
+            return line_chart(series, title=table.title, log_x=all(
+                x > 0 for pts in series.values() for x, _ in pts
+            ))
+        except ValueError:
+            return None
+    # Tables shaped (x, y...): one series per y column.
+    try:
+        xs = [float(x) for x in table.column(columns[0])]
+    except (TypeError, ValueError):
+        return None
+    series = {}
+    for y_col in columns[1:]:
+        pts = []
+        for x, y in zip(xs, table.column(y_col)):
+            try:
+                pts.append((x, float(y)))
+            except (TypeError, ValueError):
+                return None
+        series[y_col] = pts
+    try:
+        return line_chart(series, title=table.title)
+    except ValueError:
+        return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Dynamic Behavior of "
+        "Slowly-Responsive Congestion Control Algorithms' (SIGCOMM 2001).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the available figures")
+    run_parser = sub.add_parser("run", help="run one figure (or 'all')")
+    run_parser.add_argument("figure", help="figure name (e.g. fig05) or 'all'")
+    run_parser.add_argument(
+        "--scale",
+        choices=("fast", "paper"),
+        default="fast",
+        help="scenario scale (default: fast)",
+    )
+    run_parser.add_argument(
+        "--out", type=pathlib.Path, help="directory to persist tables into"
+    )
+    run_parser.add_argument(
+        "--chart", action="store_true", help="also render an ASCII chart"
+    )
+    args = parser.parse_args(argv)
+
+    runnable = {**ALL_FIGURES, **EXTENSIONS}
+    if args.command == "list":
+        for name, module in runnable.items():
+            doc = (module.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{name}: {summary}")
+        return 0
+
+    names = list(runnable) if args.figure == "all" else [args.figure]
+    unknown = [n for n in names if n not in runnable]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(runnable)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        started = time.time()
+        table = runnable[name].run(args.scale)
+        elapsed = time.time() - started
+        print(table.format())
+        print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
+        if args.chart:
+            chart = _figure_chart(name, table)
+            if chart:
+                print()
+                print(chart)
+        if args.out:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(table.format() + "\n")
+        print()
+    return 0

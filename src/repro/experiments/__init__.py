@@ -1,0 +1,108 @@
+"""One experiment module per paper figure, plus shared scenario machinery.
+
+``repro.experiments.figXX_*.run(scale)`` regenerates the data behind paper
+figure XX as a :class:`~repro.experiments.runner.Table`; ``scale="fast"``
+uses the CI-sized configuration, ``scale="paper"`` the paper's parameters.
+"""
+
+from repro.experiments import (
+    ext_queue_dynamics,
+    ext_responsiveness,
+    fig03_cbr_restart,
+    fig04_stabilization_time,
+    fig05_stabilization_cost,
+    fig06_flash_crowd,
+    fig07_tcp_vs_tfrc,
+    fig08_tcp_vs_tcp8,
+    fig09_tcp_vs_sqrt,
+    fig10_convergence_tcp,
+    fig11_convergence_analysis,
+    fig12_convergence_tfrc,
+    fig13_fk_utilization,
+    fig14_oscillation_utilization,
+    fig15_oscillation_droprate,
+    fig16_extreme_oscillation,
+    fig17_mild_bursty,
+    fig18_severe_bursty,
+    fig19_iiad_sqrt,
+    fig20_timeout_models,
+)
+from repro.experiments.protocols import Protocol, iiad, rap, sqrt, tcp, tcp_b, tear, tfrc
+from repro.experiments.runner import Table, pick_config
+from repro.experiments.scenarios import (
+    CbrRestartConfig,
+    CbrRestartResult,
+    ConvergenceConfig,
+    DoublingConfig,
+    DoublingResult,
+    FlashCrowdConfig,
+    FlashCrowdResult,
+    LossPatternConfig,
+    LossPatternResult,
+    OscillationConfig,
+    OscillationResult,
+    run_cbr_restart,
+    run_convergence,
+    run_doubling,
+    run_flash_crowd,
+    run_loss_pattern,
+    run_oscillation,
+)
+
+EXTENSIONS = {
+    "responsiveness": ext_responsiveness,
+    "queue_dynamics": ext_queue_dynamics,
+}
+
+ALL_FIGURES = {
+    "fig03": fig03_cbr_restart,
+    "fig04": fig04_stabilization_time,
+    "fig05": fig05_stabilization_cost,
+    "fig06": fig06_flash_crowd,
+    "fig07": fig07_tcp_vs_tfrc,
+    "fig08": fig08_tcp_vs_tcp8,
+    "fig09": fig09_tcp_vs_sqrt,
+    "fig10": fig10_convergence_tcp,
+    "fig11": fig11_convergence_analysis,
+    "fig12": fig12_convergence_tfrc,
+    "fig13": fig13_fk_utilization,
+    "fig14": fig14_oscillation_utilization,
+    "fig15": fig15_oscillation_droprate,
+    "fig16": fig16_extreme_oscillation,
+    "fig17": fig17_mild_bursty,
+    "fig18": fig18_severe_bursty,
+    "fig19": fig19_iiad_sqrt,
+    "fig20": fig20_timeout_models,
+}
+
+__all__ = [
+    "ALL_FIGURES",
+    "EXTENSIONS",
+    "CbrRestartConfig",
+    "CbrRestartResult",
+    "ConvergenceConfig",
+    "DoublingConfig",
+    "DoublingResult",
+    "FlashCrowdConfig",
+    "FlashCrowdResult",
+    "LossPatternConfig",
+    "LossPatternResult",
+    "OscillationConfig",
+    "OscillationResult",
+    "Protocol",
+    "Table",
+    "iiad",
+    "pick_config",
+    "rap",
+    "run_cbr_restart",
+    "run_convergence",
+    "run_doubling",
+    "run_flash_crowd",
+    "run_loss_pattern",
+    "run_oscillation",
+    "sqrt",
+    "tcp",
+    "tcp_b",
+    "tear",
+    "tfrc",
+]

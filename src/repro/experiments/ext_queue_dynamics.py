@@ -1,0 +1,105 @@
+"""Extension: SlowCC's effect on bottleneck queue dynamics.
+
+Section 2 notes prior "investigation of the effect of SlowCC proposals on
+queue dynamics, including the effect on oscillations in the queue size,
+both with and without active queue management".  With the queue sampler in
+:meth:`repro.net.monitor.LinkMonitor.sample_queue` this is directly
+measurable here: populations of identical flows (TCP vs TFRC vs TCP(1/8))
+over RED and DropTail bottlenecks, comparing mean queue occupancy and its
+oscillation (coefficient of variation).
+
+Expected shape: RED holds a lower average queue than DropTail, and the
+gentler AIMD variant oscillates the queue less than standard TCP.  TFRC is
+run without RFC 3448's optional oscillation-prevention mechanism (as in
+the paper), so its timer-driven rate shows larger queue oscillations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.experiments.protocols import Protocol, tcp, tfrc
+from repro.experiments.runner import Table
+from repro.metrics.smoothness import coefficient_of_variation
+from repro.net.dumbbell import Dumbbell
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.traffic.bulk import add_flows
+
+__all__ = ["QueueDynamicsConfig", "measure_queue_dynamics", "run"]
+
+
+@dataclass(frozen=True)
+class QueueDynamicsConfig:
+    bandwidth_bps: float = 5e6
+    rtt_s: float = 0.05
+    n_flows: int = 8
+    duration_s: float = 60.0
+    warmup_s: float = 20.0
+    sample_period_s: float = 0.01
+    seed: int = 1
+
+    @classmethod
+    def fast(cls, **overrides) -> "QueueDynamicsConfig":
+        base = cls(duration_s=40.0, warmup_s=15.0)
+        return replace(base, **overrides)
+
+
+def measure_queue_dynamics(
+    protocol: Protocol, aqm: str, cfg: QueueDynamicsConfig
+) -> tuple[float, float, float]:
+    """Returns (mean queue pkts, queue CoV, loss rate) for one population."""
+    sim = Simulator()
+    if aqm == "red":
+        net = Dumbbell(
+            sim, cfg.bandwidth_bps, cfg.rtt_s, rng=RngRegistry(cfg.seed)
+        )
+    elif aqm == "droptail":
+        bdp = cfg.bandwidth_bps * cfg.rtt_s / 8000.0
+        capacity = max(4, int(2.5 * bdp))
+        net = Dumbbell(
+            sim,
+            cfg.bandwidth_bps,
+            cfg.rtt_s,
+            queue_factory=lambda: DropTailQueue(capacity),
+            rng=RngRegistry(cfg.seed),
+        )
+    else:
+        raise ValueError(f"unknown AQM {aqm!r}")
+    series = net.monitor.sample_queue(cfg.sample_period_s)
+    add_flows(
+        sim, net, protocol.make, count=cfg.n_flows,
+        start_jitter_s=2.0, rng=random.Random(cfg.seed),
+    )
+    sim.run(until=cfg.duration_s)
+    window = series.window(cfg.warmup_s, cfg.duration_s)
+    values = list(window.values)
+    loss = net.monitor.loss_rate(cfg.warmup_s, cfg.duration_s)
+    return window.mean(), coefficient_of_variation(values), loss
+
+
+def run(scale: str = "fast", **overrides) -> Table:
+    cfg = (
+        QueueDynamicsConfig.fast(**overrides)
+        if scale == "fast"
+        else QueueDynamicsConfig(**overrides)
+    )
+    table = Table(
+        title="Queue dynamics: occupancy and oscillation by sender type and AQM",
+        columns=["protocol", "aqm", "mean_queue_pkts", "queue_cov", "loss_rate"],
+        notes=(
+            "RED keeps the average queue well below DropTail's.  Within the "
+            "window-based family, the gentler TCP(1/8) oscillates the queue "
+            "less than TCP(1/2).  Rate-based TFRC (implemented without RFC "
+            "3448's optional oscillation-prevention, which the paper does "
+            "not use) shows the larger queue oscillations reported in the "
+            "equation-based-CC literature."
+        ),
+    )
+    for protocol in (tcp(2), tcp(8), tfrc(6)):
+        for aqm in ("red", "droptail"):
+            mean_q, cov, loss = measure_queue_dynamics(protocol, aqm, cfg)
+            table.add(protocol.name, aqm, mean_q, cov, loss)
+    return table

@@ -1,0 +1,54 @@
+"""Shared harness for Figures 7-9: long-term fairness vs TCP.
+
+Five TCP flows compete with five flows of another TCP-compatible protocol
+while a square-wave CBR source oscillates the available bandwidth 3:1.
+Each column of the paper's figures is one simulation at one square-wave
+period; the series are the per-flow throughputs normalized by the fair
+share, plus the per-type means.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.protocols import Protocol, tcp
+from repro.experiments.runner import Table, pick_config
+from repro.experiments.scenarios import OscillationConfig, run_oscillation
+
+__all__ = ["default_periods", "fairness_table"]
+
+
+def default_periods(scale: str) -> list[float]:
+    if scale == "fast":
+        return [0.2, 0.4, 1.0, 4.0, 16.0]
+    return [0.2, 0.4, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+
+
+def fairness_table(
+    figure: str,
+    competitor: Protocol,
+    paper_claim: str,
+    scale: str = "fast",
+    periods: Sequence[float] | None = None,
+    **overrides,
+) -> Table:
+    cfg = pick_config(OscillationConfig, scale, **overrides)
+    periods = list(periods) if periods is not None else default_periods(scale)
+    table = Table(
+        title=f"{figure}: TCP vs {competitor.name} under 3:1 oscillating bandwidth",
+        columns=[
+            "period_s",
+            "tcp_mean_share",
+            "other_mean_share",
+            "utilization",
+            "drop_rate",
+        ],
+        notes=paper_claim,
+    )
+    reference = tcp(2)
+    for period in periods:
+        result = run_oscillation(reference, competitor, period, cfg)
+        table.add(
+            period, result.mean_a, result.mean_b, result.utilization, result.drop_rate
+        )
+    return table

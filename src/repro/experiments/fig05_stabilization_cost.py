@@ -1,0 +1,17 @@
+"""Figure 5: stabilization cost vs gamma.
+
+Same sweep as Figure 4, reported with the stabilization-cost metric
+(stabilization time in RTTs x average loss percentage during the
+stabilization interval; cost 1 = one RTT's worth of packets dropped).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig04_stabilization_time import sweep, table_from_sweep
+from repro.experiments.runner import Table
+
+__all__ = ["run"]
+
+
+def run(scale: str = "fast", **kwargs) -> Table:
+    return table_from_sweep(sweep(scale, **kwargs), metric="cost")

@@ -1,0 +1,40 @@
+"""Figure 6: aggregate throughput with a web flash crowd.
+
+Paper: a flash crowd of short TCP transfers (10 packets, 200 flows/s for
+5 s) starts at t = 25 s against long-running SlowCC background traffic.
+Because the crowd's flows are in slow-start they grab bandwidth rapidly
+whether the background is TCP(1/2) or TFRC(256) *with* self-clocking; only
+TFRC(256) without self-clocking is slow to yield.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.protocols import Protocol, tcp, tfrc
+from repro.experiments.runner import Table, pick_config
+from repro.experiments.scenarios import FlashCrowdConfig, run_flash_crowd
+
+__all__ = ["default_protocols", "run"]
+
+
+def default_protocols() -> list[Protocol]:
+    return [tcp(2), tfrc(256), tfrc(256, conservative=True)]
+
+
+def run(scale: str = "fast", protocols: list[Protocol] | None = None, **overrides) -> Table:
+    cfg = pick_config(FlashCrowdConfig, scale, **overrides)
+    table = Table(
+        title="Figure 6: aggregate throughput around a flash crowd",
+        columns=["background", "time_s", "background_mbps", "crowd_mbps"],
+        notes=(
+            f"Crowd: {cfg.crowd_rate_per_s:g} flows/s x {cfg.crowd_duration_s:g} s of "
+            f"{cfg.transfer_packets}-packet TCP transfers starting at t={cfg.crowd_start:g} s. "
+            "Paper: the crowd grabs bandwidth quickly against TCP and against "
+            "TFRC(256) with self-clocking; TFRC(256) without it yields slowly."
+        ),
+    )
+    for protocol in protocols if protocols is not None else default_protocols():
+        result = run_flash_crowd(protocol, cfg)
+        crowd = dict(result.crowd_series)
+        for t, bg in result.background_series:
+            table.add(result.protocol, t, bg / 1e6, crowd.get(t, 0.0) / 1e6)
+    return table

@@ -1,0 +1,28 @@
+"""Figure 8: throughput of TCP and TCP(1/8) flows under 3:1 oscillation.
+
+Paper: like TFRC, TCP(1/8) is reasonably prompt in reducing its rate under
+extreme congestion but observably slower at increasing it when bandwidth
+appears, so TCP out-competes it in the oscillating environment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fairness_vs_tcp import fairness_table
+from repro.experiments.protocols import tcp
+from repro.experiments.runner import Table
+
+__all__ = ["run"]
+
+
+def run(scale: str = "fast", **kwargs) -> Table:
+    return fairness_table(
+        "Figure 8",
+        tcp(8),
+        paper_claim=(
+            "Paper: TCP receives more than TCP(1/8) under oscillating "
+            "bandwidth; the slower algorithm is not mistreating TCP, it is "
+            "losing throughput itself."
+        ),
+        scale=scale,
+        **kwargs,
+    )

@@ -1,0 +1,27 @@
+"""Figure 9: throughput of TCP and SQRT(1/2) flows under 3:1 oscillation.
+
+Paper: same qualitative picture as Figures 7 and 8 — the slowly-responsive
+(binomial) algorithm remains safe for TCP but receives less than its
+equitable share when conditions change dynamically.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fairness_vs_tcp import fairness_table
+from repro.experiments.protocols import sqrt
+from repro.experiments.runner import Table
+
+__all__ = ["run"]
+
+
+def run(scale: str = "fast", **kwargs) -> Table:
+    return fairness_table(
+        "Figure 9",
+        sqrt(2),
+        paper_claim=(
+            "Paper: TCP modestly out-competes SQRT under oscillating "
+            "bandwidth, without SQRT harming TCP."
+        ),
+        scale=scale,
+        **kwargs,
+    )

@@ -1,0 +1,39 @@
+"""Figure 10: time to 0.1-fair convergence for two TCP(b) flows.
+
+Paper: two TCP(b) flows on a 10 Mbps link, one starting from the full link
+and one from ~1 packet/RTT.  Convergence to 0.1-fairness is quick for
+b >= ~0.2 and grows rapidly as b shrinks (consistent with the analytical
+log_{1-bp} delta ACK count of Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.protocols import tcp_b
+from repro.experiments.runner import Table, pick_config
+from repro.experiments.scenarios import ConvergenceConfig, run_convergence
+
+__all__ = ["default_bs", "run"]
+
+
+def default_bs(scale: str) -> list[float]:
+    if scale == "fast":
+        return [0.5, 0.25, 0.125, 1 / 32, 1 / 128]
+    return [0.5, 0.25, 0.125, 1 / 16, 1 / 32, 1 / 64, 1 / 128, 1 / 256]
+
+
+def run(scale: str = "fast", bs: Sequence[float] | None = None, **overrides) -> Table:
+    cfg = pick_config(ConvergenceConfig, scale, **overrides)
+    table = Table(
+        title="Figure 10: 0.1-fair convergence time for two TCP(b) flows",
+        columns=["b", "convergence_s"],
+        notes=(
+            "Paper: acceptable convergence for b >= ~0.2, exponentially "
+            "longer below.  Runs that never converge are charged the full "
+            f"observation window ({cfg.end - cfg.second_start:g} s)."
+        ),
+    )
+    for b in bs if bs is not None else default_bs(scale):
+        table.add(b, run_convergence(tcp_b(b), cfg))
+    return table

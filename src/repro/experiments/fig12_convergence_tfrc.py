@@ -1,0 +1,38 @@
+"""Figure 12: time to 0.1-fair convergence for two TFRC(k) flows.
+
+Paper: unlike TCP(b), the TFRC(k) convergence time does not increase as
+rapidly with increased slowness, because TFRC adjusts to the available rate
+after a fixed number of loss intervals rather than by repeated
+multiplicative decreases.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.protocols import tfrc
+from repro.experiments.runner import Table, pick_config
+from repro.experiments.scenarios import ConvergenceConfig, run_convergence
+
+__all__ = ["default_ks", "run"]
+
+
+def default_ks(scale: str) -> list[int]:
+    if scale == "fast":
+        return [1, 6, 32, 128]
+    return [1, 2, 6, 16, 32, 64, 128, 256]
+
+
+def run(scale: str = "fast", ks: Sequence[int] | None = None, **overrides) -> Table:
+    cfg = pick_config(ConvergenceConfig, scale, **overrides)
+    table = Table(
+        title="Figure 12: 0.1-fair convergence time for two TFRC(k) flows",
+        columns=["k", "convergence_s"],
+        notes=(
+            "Paper: grows much more slowly with k than TCP(b) does with "
+            "1/b (compare Figure 10)."
+        ),
+    )
+    for k in ks if ks is not None else default_ks(scale):
+        table.add(k, run_convergence(tfrc(k), cfg))
+    return table

@@ -1,0 +1,18 @@
+"""Figure 15: packet drop rates for the Figure 14 simulations."""
+
+from __future__ import annotations
+
+from repro.experiments.oscillation_utilization import sweep, table_from_sweep
+from repro.experiments.runner import Table
+
+__all__ = ["run"]
+
+
+def run(scale: str = "fast", **kwargs) -> Table:
+    results = sweep(scale, cbr_fraction=2.0 / 3.0, **kwargs)
+    return table_from_sweep(
+        results,
+        metric="drop_rate",
+        title="Figure 15: drop rate vs CBR ON/OFF time (3:1 oscillation)",
+        notes="Companion drop-rate series for the Figure 14 runs.",
+    )

@@ -1,0 +1,26 @@
+"""Figure 16: utilization under extreme 10:1 bandwidth oscillations.
+
+Paper: with 10:1 changes in available bandwidth none of the mechanisms is
+particularly successful, and for certain oscillation frequencies TFRC does
+particularly badly relative to TCP.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.oscillation_utilization import sweep, table_from_sweep
+from repro.experiments.runner import Table
+
+__all__ = ["run"]
+
+
+def run(scale: str = "fast", **kwargs) -> Table:
+    results = sweep(scale, cbr_fraction=0.9, **kwargs)
+    return table_from_sweep(
+        results,
+        metric="utilization",
+        title="Figure 16: utilization vs CBR ON/OFF time (10:1 oscillation)",
+        notes=(
+            "Paper: all protocols suffer; TFRC is worst at some oscillation "
+            "frequencies."
+        ),
+    )

@@ -1,0 +1,24 @@
+"""Figure 19: IIAD and SQRT under the mildly bursty loss pattern.
+
+Paper: because IIAD reduces its window additively and increases it slowly
+when bandwidth becomes available, it achieves smoothness at the cost of
+throughput, relative to SQRT.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig17_mild_bursty import run as _run_mild
+from repro.experiments.protocols import iiad, sqrt
+from repro.experiments.runner import Table
+
+__all__ = ["run"]
+
+
+def run(scale: str = "fast", **kwargs) -> Table:
+    table = _run_mild(scale, protocols=[iiad(), sqrt(2)], **kwargs)
+    table.title = "Figure 19: IIAD vs SQRT under the mildly bursty loss pattern"
+    table.notes = (
+        "Paper: IIAD is smoother than SQRT but pays for it with lower "
+        "throughput."
+    )
+    return table

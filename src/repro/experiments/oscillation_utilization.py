@@ -1,0 +1,65 @@
+"""Shared harness for Figures 14-16: utilization under oscillation.
+
+Ten identical flows (all using the same congestion control) compete with an
+ON/OFF CBR source.  The x-axis is the CBR ON(=OFF) time; the y-axis either
+the flows' aggregate throughput as a fraction of the mean available
+bandwidth (Figures 14/16) or the packet drop rate (Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.protocols import Protocol, tcp, tfrc
+from repro.experiments.runner import Table, pick_config
+from repro.experiments.scenarios import OscillationConfig, OscillationResult, run_oscillation
+
+__all__ = ["default_protocols", "default_on_times", "sweep", "table_from_sweep"]
+
+
+def default_protocols() -> list[Protocol]:
+    return [tcp(8), tcp(2), tfrc(6)]
+
+
+def default_on_times(scale: str) -> list[float]:
+    if scale == "fast":
+        return [0.05, 0.2, 0.8, 3.2]
+    return [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4]
+
+
+def sweep(
+    scale: str = "fast",
+    cbr_fraction: float = 2.0 / 3.0,
+    on_times: Sequence[float] | None = None,
+    protocols: list[Protocol] | None = None,
+    n_flows: int | None = None,
+    **overrides,
+) -> dict[tuple[str, float], OscillationResult]:
+    """Identical-flow oscillation runs across protocols x ON times."""
+    cfg = pick_config(OscillationConfig, scale, cbr_fraction=cbr_fraction, **overrides)
+    if n_flows is None:
+        n_flows = 10 if scale == "paper" else 6
+    from dataclasses import replace
+
+    cfg = replace(cfg, n_flows_a=n_flows, n_flows_b=0)
+    results: dict[tuple[str, float], OscillationResult] = {}
+    for protocol in protocols if protocols is not None else default_protocols():
+        for on_s in on_times if on_times is not None else default_on_times(scale):
+            # ON time == OFF time; the square-wave period is twice that.
+            results[(protocol.name, on_s)] = run_oscillation(
+                protocol, None, 2.0 * on_s, cfg
+            )
+    return results
+
+
+def table_from_sweep(
+    results: dict[tuple[str, float], OscillationResult],
+    metric: str,
+    title: str,
+    notes: str,
+) -> Table:
+    table = Table(title=title, columns=["protocol", "on_off_s", "value"], notes=notes)
+    for (name, on_s), result in sorted(results.items()):
+        value = result.utilization if metric == "utilization" else result.drop_rate
+        table.add(name, on_s, value)
+    return table

@@ -1,0 +1,126 @@
+"""Named protocol factories matching the paper's notation.
+
+The paper parameterizes each family by a slowness parameter gamma:
+TCP(1/gamma), RAP(1/gamma), SQRT(1/gamma) use multiplicative decrease
+b = 1/gamma; TFRC(gamma) averages gamma loss intervals.  These factories
+produce fresh (sender, receiver) pairs per flow so experiments can spawn
+any number of identical flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cc.base import Receiver, Sender
+from repro.cc.binomial import iiad_rule, sqrt_rule, tcp_rule
+from repro.cc.rap import new_rap_flow
+from repro.cc.tcp import new_tcp_flow
+from repro.cc.tear import new_tear_flow
+from repro.cc.tfrc import new_tfrc_flow
+from repro.sim.engine import Simulator
+
+__all__ = [
+    "Protocol",
+    "tcp",
+    "tcp_b",
+    "sqrt",
+    "iiad",
+    "rap",
+    "tfrc",
+    "tear",
+    "standard_gammas",
+]
+
+AgentPair = Callable[[Simulator], "tuple[Sender, Receiver]"]
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """A named congestion-control configuration."""
+
+    name: str
+    make: AgentPair
+    rate_based: bool = False
+    self_clocked: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def standard_gammas() -> list[int]:
+    """The gamma sweep used by Figures 4 and 5: 1 to 256."""
+    return [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+
+def tcp(gamma: float = 2.0, packet_size: int = 1000) -> Protocol:
+    """TCP(1/gamma): window-based AIMD with the full TCP machinery."""
+    return tcp_b(1.0 / gamma, packet_size)
+
+
+def tcp_b(b: float, packet_size: int = 1000) -> Protocol:
+    """TCP(b) by decrease factor (TCP(0.5) is standard TCP)."""
+    return Protocol(
+        name=f"TCP({b:g})",
+        make=lambda sim: new_tcp_flow(sim, rule=tcp_rule(b), packet_size=packet_size),
+    )
+
+
+def sqrt(gamma: float = 2.0, packet_size: int = 1000) -> Protocol:
+    """SQRT(1/gamma): the k = l = 1/2 binomial on the TCP machinery."""
+    b = 1.0 / gamma
+    return Protocol(
+        name=f"SQRT({b:g})",
+        make=lambda sim: new_tcp_flow(sim, rule=sqrt_rule(b), packet_size=packet_size),
+    )
+
+
+def iiad(b: float = 1.0, packet_size: int = 1000) -> Protocol:
+    """IIAD: inverse-increase additive-decrease binomial."""
+    return Protocol(
+        name="IIAD",
+        make=lambda sim: new_tcp_flow(sim, rule=iiad_rule(b), packet_size=packet_size),
+    )
+
+
+def rap(gamma: float = 2.0, packet_size: int = 1000) -> Protocol:
+    """RAP(1/gamma): rate-based AIMD, no self-clocking."""
+    b = 1.0 / gamma
+    return Protocol(
+        name=f"RAP({b:g})",
+        make=lambda sim: new_rap_flow(sim, b=b, packet_size=packet_size),
+        rate_based=True,
+        self_clocked=False,
+    )
+
+
+def tfrc(
+    k: int = 6,
+    conservative: bool = False,
+    history_discounting: bool = True,
+    packet_size: int = 1000,
+) -> Protocol:
+    """TFRC(k), optionally with the paper's self-clocking (conservative_)."""
+    suffix = "+SC" if conservative else ""
+    return Protocol(
+        name=f"TFRC({k}){suffix}",
+        make=lambda sim: new_tfrc_flow(
+            sim,
+            n_intervals=k,
+            conservative=conservative,
+            history_discounting=history_discounting,
+            packet_size=packet_size,
+        ),
+        rate_based=True,
+        self_clocked=conservative,
+    )
+
+
+def tear(epochs: int = 8, packet_size: int = 1000) -> Protocol:
+    """TEAR: receiver-based TCP emulation (extension; not in the figures)."""
+    return Protocol(
+        name=f"TEAR({epochs})",
+        make=lambda sim: new_tear_flow(sim, epochs=epochs, packet_size=packet_size),
+        rate_based=True,
+        self_clocked=False,
+    )

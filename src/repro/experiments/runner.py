@@ -1,0 +1,82 @@
+"""Experiment result tables and formatting.
+
+Every figure module produces a :class:`Table`: named columns, one row per
+simulation point, and free-form notes recording the paper's corresponding
+claim.  The benchmark harness prints these tables, giving the same
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table", "pick_config"]
+
+
+def pick_config(config_cls: type, scale: str, **overrides: Any):
+    """Build a scenario config at ``scale`` ("fast" or "paper")."""
+    if scale == "fast":
+        return config_cls.fast(**overrides)
+    if scale == "paper":
+        return config_cls(**overrides)
+    raise ValueError(f"unknown scale {scale!r}; use 'fast' or 'paper'")
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A formatted experiment result."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, by name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def rows_where(self, name: str, value: Any) -> list[tuple]:
+        index = self.columns.index(name)
+        return [row for row in self.rows if row[index] == value]
+
+    def format(self) -> str:
+        cells = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
+            for i, header in enumerate(self.columns)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(h.ljust(w) for h, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format()

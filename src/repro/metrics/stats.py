@@ -1,0 +1,83 @@
+"""Replication statistics: means, confidence intervals, seed sweeps.
+
+Simulation results are noisy; a single-seed number can mislead.  This
+module provides the usual replication machinery — run a scenario across
+seeds, report mean, standard deviation and a Student-t confidence
+interval — without bringing in scipy (the t quantiles needed for typical
+replication counts are tabulated).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["Summary", "summarize", "replicate", "t_quantile_975"]
+
+T = TypeVar("T")
+
+# Two-sided 95% Student-t quantiles by degrees of freedom (1..30).
+_T_975 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t_quantile_975(dof: int) -> float:
+    """97.5% Student-t quantile (two-sided 95% CI half-width factor)."""
+    if dof < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if dof <= len(_T_975):
+        return _T_975[dof - 1]
+    return 1.96  # normal approximation beyond the table
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Replication summary of one scalar metric."""
+
+    n: int
+    mean: float
+    stddev: float
+    ci95: float  # half-width of the 95% confidence interval
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def overlaps(self, other: "Summary") -> bool:
+        """Whether the two 95% intervals overlap (a coarse equality test)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean, stddev and 95% CI of a sample (n >= 1)."""
+    if not values:
+        raise ValueError("need at least one value")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(n=1, mean=mean, stddev=0.0, ci95=math.inf)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stddev = math.sqrt(variance)
+    ci95 = t_quantile_975(n - 1) * stddev / math.sqrt(n)
+    return Summary(n=n, mean=mean, stddev=stddev, ci95=ci95)
+
+
+def replicate(
+    run: Callable[[int], float],
+    seeds: Sequence[int],
+) -> Summary:
+    """Run ``run(seed)`` for each seed and summarize the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return summarize([run(seed) for seed in seeds])

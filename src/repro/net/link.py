@@ -1,0 +1,90 @@
+"""A unidirectional bandwidth + propagation-delay link with a queue.
+
+The link is the only place in the simulator where packets take time:
+serialization at ``bandwidth_bps`` plus a fixed propagation ``delay_s``.
+Packets that arrive while the transmitter is busy wait in the attached
+:class:`~repro.net.queue.QueueDiscipline`, which is where all congestion
+losses happen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue, QueueDiscipline
+from repro.sim.engine import Simulator
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Point-to-point link feeding packets to a receiver callback.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    bandwidth_bps:
+        Transmission rate in bits per second.
+    delay_s:
+        One-way propagation delay in seconds.
+    queue:
+        Queueing discipline; DropTail with a generous buffer by default.
+    name:
+        Label used in monitors and debugging output.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue: Optional[QueueDiscipline] = None,
+        name: str = "link",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue = queue if queue is not None else DropTailQueue(1000)
+        self.queue.bind_clock(lambda: sim.now)
+        self.name = name
+        self._receiver: Optional[Callable[[Packet], None]] = None
+        self._busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    def connect(self, receiver: Callable[[Packet], None]) -> None:
+        """Set the downstream receiver (a node's or agent's receive)."""
+        self._receiver = receiver
+
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to the link; it queues, serializes, propagates."""
+        if self._receiver is None:
+            raise RuntimeError(f"link {self.name!r} is not connected")
+        if self.queue.enqueue(packet) and not self._busy:
+            self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        self.sim.schedule(tx_time, self._transmission_done, packet)
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        self.sim.schedule(self.delay_s, self._receiver, packet)
+        self._start_transmission()
+
+    def utilization(self, start: float, end: float, bytes_in_window: float) -> float:
+        """Fraction of capacity used by ``bytes_in_window`` over [start, end)."""
+        capacity_bytes = self.bandwidth_bps * (end - start) / 8.0
+        return bytes_in_window / capacity_bytes if capacity_bytes > 0 else 0.0

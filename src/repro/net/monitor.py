@@ -1,0 +1,202 @@
+"""Measurement taps: link monitors and per-flow accounting.
+
+:class:`LinkMonitor` observes one link's queue (arrivals and drops) and its
+transmitter (departures), producing the loss-rate and utilization series the
+paper's metrics are computed from.  :class:`FlowAccountant` counts delivered
+data per flow at the receivers, producing per-flow throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TimeSeries
+
+__all__ = ["LinkMonitor", "FlowAccountant"]
+
+
+class LinkMonitor:
+    """Observes arrivals, drops and departures on one link.
+
+    Attach with :meth:`attach`; the monitor registers itself as the queue's
+    drop observer and wraps the link's delivery path to count departures.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.arrival_times: list[float] = []
+        self.drop_times: list[float] = []
+        self.mark_times: list[float] = []  # ECN CE marks (RED marking mode)
+        self.departures = TimeSeries("departed_bytes")
+        self._departed_bytes = 0
+        self._link: Optional[Link] = None
+
+    def attach(self, link: Link) -> None:
+        self._link = link
+        link.queue.observer = self
+        original = link._transmission_done
+
+        def observed_transmission_done(packet: Packet) -> None:
+            self._departed_bytes += packet.size
+            self.departures.append(self.sim.now, self._departed_bytes)
+            original(packet)
+
+        link._transmission_done = observed_transmission_done  # type: ignore[method-assign]
+
+    def sample_queue(self, period_s: float) -> TimeSeries:
+        """Start periodic queue-occupancy sampling; returns the series.
+
+        The series records (time, packets queued) every ``period_s``
+        seconds for the rest of the simulation — the standing-queue
+        dynamics the paper's Section 2 background discusses.
+        """
+        if self._link is None:
+            raise RuntimeError("monitor is not attached to a link")
+        from repro.sim.process import PeriodicTask
+
+        series = TimeSeries("queue_pkts")
+        link = self._link
+
+        def snapshot() -> None:
+            series.append(self.sim.now, float(len(link.queue)))
+
+        task = PeriodicTask(self.sim, period_s, snapshot)
+        task.start()
+        self._queue_sampler = task  # keep alive, allow later stop()
+        return series
+
+    # Queue observer protocol -------------------------------------------------
+
+    def on_arrival(self, packet: Packet) -> None:
+        self.arrival_times.append(self.sim.now)
+
+    def on_drop(self, packet: Packet) -> None:
+        self.drop_times.append(self.sim.now)
+
+    def on_mark(self, packet: Packet) -> None:
+        self.mark_times.append(self.sim.now)
+
+    # Derived measurements ----------------------------------------------------
+
+    @staticmethod
+    def _count_in(times: list[float], start: float, end: float) -> int:
+        import bisect
+
+        return bisect.bisect_left(times, end) - bisect.bisect_left(times, start)
+
+    def arrivals_in(self, start: float, end: float) -> int:
+        return self._count_in(self.arrival_times, start, end)
+
+    def drops_in(self, start: float, end: float) -> int:
+        return self._count_in(self.drop_times, start, end)
+
+    def marks_in(self, start: float, end: float) -> int:
+        return self._count_in(self.mark_times, start, end)
+
+    def mark_rate(self, start: float, end: float) -> float:
+        """Fraction of arrivals CE-marked over [start, end); NaN if idle."""
+        arrivals = self.arrivals_in(start, end)
+        if arrivals == 0:
+            return math.nan
+        return self.marks_in(start, end) / arrivals
+
+    def loss_rate(self, start: float, end: float) -> float:
+        """Fraction of arrivals dropped over [start, end); NaN if idle."""
+        arrivals = self.arrivals_in(start, end)
+        if arrivals == 0:
+            return math.nan
+        return self.drops_in(start, end) / arrivals
+
+    def loss_rate_series(
+        self, window_s: float, start: float, end: float, stride_s: float = 0.0
+    ) -> TimeSeries:
+        """Loss rate over a sliding window.
+
+        Each sample at time t is the loss rate over [t - window_s, t).  The
+        paper averages the loss rate over the previous ten RTTs; pass
+        ``window_s = 10 * rtt``.  ``stride_s`` defaults to the window length
+        (non-overlapping windows).
+        """
+        stride = stride_s if stride_s > 0 else window_s
+        series = TimeSeries("loss_rate")
+        t = start + window_s
+        while t <= end:
+            rate = self.loss_rate(t - window_s, t)
+            if not math.isnan(rate):
+                series.append(t, rate)
+            t += stride
+        return series
+
+    def departed_bytes_in(self, start: float, end: float) -> float:
+        def cumulative(t: float) -> float:
+            value = self.departures.last_before(t)
+            return value if value is not None else 0.0
+
+        return cumulative(end) - cumulative(start)
+
+    def utilization(self, start: float, end: float) -> float:
+        """Fraction of the link's capacity used over [start, end)."""
+        if self._link is None:
+            raise RuntimeError("monitor is not attached to a link")
+        capacity_bytes = self._link.bandwidth_bps * (end - start) / 8.0
+        if capacity_bytes <= 0:
+            return 0.0
+        return self.departed_bytes_in(start, end) / capacity_bytes
+
+
+class FlowAccountant:
+    """Counts data delivered to receivers, per flow."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._series: dict[int, TimeSeries] = {}
+        self._bytes: dict[int, int] = {}
+
+    def on_deliver(self, packet: Packet) -> None:
+        """Record a data packet that reached its receiver."""
+        flow = packet.flow_id
+        total = self._bytes.get(flow, 0) + packet.size
+        self._bytes[flow] = total
+        series = self._series.get(flow)
+        if series is None:
+            series = TimeSeries(f"flow{flow}_bytes")
+            self._series[flow] = series
+        series.append(self.sim.now, total)
+
+    @property
+    def flows(self) -> list[int]:
+        return sorted(self._series)
+
+    def delivered_bytes(self, flow_id: int, start: float, end: float) -> float:
+        series = self._series.get(flow_id)
+        if series is None:
+            return 0.0
+
+        def cumulative(t: float) -> float:
+            value = series.last_before(t)
+            return value if value is not None else 0.0
+
+        return cumulative(end) - cumulative(start)
+
+    def throughput_bps(self, flow_id: int, start: float, end: float) -> float:
+        """Average delivered rate of one flow over [start, end), bits/s."""
+        duration = end - start
+        if duration <= 0:
+            return 0.0
+        return self.delivered_bytes(flow_id, start, end) * 8.0 / duration
+
+    def rate_series_bps(
+        self, flow_id: int, window_s: float, start: float, end: float
+    ) -> TimeSeries:
+        """Delivered rate sampled over consecutive windows, bits/s."""
+        series = TimeSeries(f"flow{flow_id}_rate")
+        t = start + window_s
+        while t <= end:
+            series.append(t, self.throughput_bps(flow_id, t - window_s, t))
+            t += window_s
+        return series

@@ -1,0 +1,161 @@
+"""Parking-lot topology: several bottlenecks in a row.
+
+The paper's introduction notes that TCP does not equalize bandwidth between
+flows crossing *multiple congested hops* and flows crossing one.  The
+parking lot is the canonical topology for that question: ``n`` bottleneck
+links in series, one "long" path traversing all of them, and per-hop cross
+traffic traversing a single hop each.
+
+This builder creates the routers, bottleneck links (each with its own RED
+queue and monitor) and host attachment points; flows are wired with the
+usual :func:`repro.cc.base.establish` via :meth:`long_path_pair` and
+:meth:`cross_pair`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.dumbbell import HostPair
+from repro.net.link import Link
+from repro.net.monitor import FlowAccountant, LinkMonitor
+from repro.net.node import Node
+from repro.net.queue import DropTailQueue, QueueDiscipline
+from repro.net.red import red_for_bdp
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["ParkingLot"]
+
+
+class ParkingLot:
+    """n-hop chain of bottlenecks with per-hop cross-traffic attach points.
+
+    Routers are R0 ... Rn; hop i is the (congested) link Ri -> Ri+1, with an
+    uncongested reverse link for feedback.  The long path enters at R0 and
+    exits at Rn; cross pair i enters at Ri and exits at Ri+1.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hops: int,
+        bandwidth_bps: float,
+        rtt_s: float,
+        packet_size: int = 1000,
+        queue_factory: Optional[Callable[[], QueueDiscipline]] = None,
+        access_factor: float = 20.0,
+        rng: Optional[RngRegistry] = None,
+    ):
+        if hops < 1:
+            raise ValueError("need at least one hop")
+        self.sim = sim
+        self.hops = hops
+        self.bandwidth_bps = bandwidth_bps
+        self.rtt_s = rtt_s
+        self.packet_size = packet_size
+        self.rng = rng if rng is not None else RngRegistry(0)
+        self._next_address = 0
+        self._next_flow_id = 0
+
+        if queue_factory is None:
+            def queue_factory() -> QueueDiscipline:
+                return red_for_bdp(
+                    bandwidth_bps,
+                    rtt_s,
+                    packet_size=packet_size,
+                    rng=self.rng.stream("red"),
+                )
+
+        # Per-hop propagation so that a single hop plus its access links
+        # has about rtt_s of round-trip delay (cross flows see ~rtt_s; the
+        # long path sees proportionally more, as in the classic setup).
+        self._access_delay = rtt_s / 8.0
+        hop_delay = rtt_s / 4.0
+        self._access_bw = access_factor * bandwidth_bps
+
+        self.routers = [self._new_node(f"R{i}") for i in range(hops + 1)]
+        self.links: list[Link] = []
+        self.reverse_links: list[Link] = []
+        self.monitors: list[LinkMonitor] = []
+        for i in range(hops):
+            forward = Link(
+                sim, bandwidth_bps, hop_delay, queue_factory(), name=f"hop{i}"
+            )
+            forward.connect(self.routers[i + 1].receive)
+            backward = Link(
+                sim,
+                bandwidth_bps,
+                hop_delay,
+                DropTailQueue(100_000),
+                name=f"hop{i}_rev",
+            )
+            backward.connect(self.routers[i].receive)
+            self.links.append(forward)
+            self.reverse_links.append(backward)
+            monitor = LinkMonitor(sim, f"hop{i}")
+            monitor.attach(forward)
+            self.monitors.append(monitor)
+        self.accountant = FlowAccountant(sim)
+
+    # Internals -----------------------------------------------------------------
+
+    def _new_node(self, name: str) -> Node:
+        node = Node(self.sim, self._next_address, name)
+        self._next_address += 1
+        return node
+
+    def _attach_host(self, node: Node, router: Node) -> None:
+        uplink = Link(
+            self.sim,
+            self._access_bw,
+            self._access_delay,
+            DropTailQueue(100_000),
+            name=f"{node.name}->{router.name}",
+        )
+        uplink.connect(router.receive)
+        node.set_default_route(uplink)
+        downlink = Link(
+            self.sim,
+            self._access_bw,
+            self._access_delay,
+            DropTailQueue(100_000),
+            name=f"{router.name}->{node.name}",
+        )
+        downlink.connect(node.receive)
+        router.add_route(node.address, downlink)
+
+    def _route_span(self, src_node: Node, dst_node: Node, first: int, last: int) -> None:
+        """Install forward routes over hops [first, last) and the reverse."""
+        for i in range(first, last):
+            self.routers[i].add_route(dst_node.address, self.links[i])
+        for i in range(last, first, -1):
+            self.routers[i].add_route(src_node.address, self.reverse_links[i - 1])
+
+    # Public API -----------------------------------------------------------------
+
+    def new_flow_id(self) -> int:
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        return flow_id
+
+    def long_path_pair(self) -> HostPair:
+        """Source at R0, destination at Rn: crosses every bottleneck."""
+        return self.span_pair(0, self.hops)
+
+    def cross_pair(self, hop: int) -> HostPair:
+        """Source at R(hop), destination at R(hop+1): one bottleneck."""
+        if not 0 <= hop < self.hops:
+            raise ValueError(f"hop must be in [0, {self.hops})")
+        return self.span_pair(hop, hop + 1)
+
+    def span_pair(self, first_hop: int, last_hop: int) -> HostPair:
+        """A pair whose data traverses hops [first_hop, last_hop)."""
+        if not 0 <= first_hop < last_hop <= self.hops:
+            raise ValueError("invalid hop span")
+        source = self._new_node(f"s{first_hop}-{last_hop}")
+        destination = self._new_node(f"d{first_hop}-{last_hop}")
+        self._attach_host(source, self.routers[first_hop])
+        self._attach_host(destination, self.routers[last_hop])
+        self._route_span(source, destination, first_hop, last_hop)
+        return HostPair(source, destination, forward=True)

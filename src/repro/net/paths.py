@@ -1,0 +1,58 @@
+"""Simple one-hop paths for controlled-loss experiments.
+
+The Section 4.3 smoothness scenarios impose a crafted loss pattern on a
+single flow; the network itself must not add congestion losses.  This
+builder wires a sender and receiver over a symmetric two-node path with an
+optional dropper on the forward (data) direction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.droppers import Dropper
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.cc.base import Receiver, Sender
+
+__all__ = ["single_path"]
+
+
+def single_path(
+    sim: Simulator,
+    sender: "Sender",
+    receiver: "Receiver",
+    rtt_s: float = 0.05,
+    bandwidth_bps: float = 1e7,
+    dropper: Optional[Dropper] = None,
+    queue_pkts: int = 100_000,
+    flow_id: int = 0,
+) -> None:
+    """Wire sender -> (dropper) -> receiver plus the reverse feedback path.
+
+    Each direction gets ``bandwidth_bps`` and half the RTT of propagation.
+    The default queue is deep enough that the dropper (not the queue) is
+    the only loss mechanism.
+    """
+    source = Node(sim, address=1, name="src")
+    destination = Node(sim, address=2, name="dst")
+    forward = Link(
+        sim, bandwidth_bps, rtt_s / 2.0, DropTailQueue(queue_pkts), name="fwd"
+    )
+    backward = Link(
+        sim, bandwidth_bps, rtt_s / 2.0, DropTailQueue(queue_pkts), name="bwd"
+    )
+    if dropper is not None:
+        dropper.connect(destination.receive)
+        forward.connect(dropper.receive)
+    else:
+        forward.connect(destination.receive)
+    backward.connect(source.receive)
+    source.add_route(2, forward)
+    destination.add_route(1, backward)
+    sender.attach(source, 2, flow_id)
+    receiver.attach(destination, 1, flow_id)

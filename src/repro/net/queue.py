@@ -1,0 +1,83 @@
+"""Queueing disciplines: the base interface and DropTail.
+
+A queue decides, per arriving packet, whether to enqueue or drop.  The
+owning :class:`~repro.net.link.Link` dequeues packets for transmission.
+Queues report arrivals and drops to an optional observer, which is how the
+per-link :class:`~repro.net.monitor.LinkMonitor` measures loss rates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional, Protocol
+
+from repro.net.packet import Packet
+
+__all__ = ["QueueDiscipline", "DropTailQueue", "DropObserver"]
+
+
+class DropObserver(Protocol):
+    """Callbacks a queue invokes on packet arrival and drop."""
+
+    def on_arrival(self, packet: Packet) -> None: ...
+
+    def on_drop(self, packet: Packet) -> None: ...
+
+
+class QueueDiscipline:
+    """Base class: a FIFO buffer with a pluggable admission decision.
+
+    Parameters
+    ----------
+    capacity_pkts:
+        Maximum number of packets held (including the one in service).
+    """
+
+    def __init__(self, capacity_pkts: int):
+        if capacity_pkts < 1:
+            raise ValueError("queue capacity must be at least 1 packet")
+        self.capacity_pkts = capacity_pkts
+        self._buffer: deque[Packet] = deque()
+        self._bytes = 0
+        self.observer: Optional[DropObserver] = None
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulation clock (done by the owning link)."""
+        self._clock = clock
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes
+
+    def admit(self, packet: Packet) -> bool:
+        """Admission decision.  Subclasses override (RED drops early)."""
+        return len(self._buffer) < self.capacity_pkts
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet; returns True if enqueued, False if dropped."""
+        if self.observer is not None:
+            self.observer.on_arrival(packet)
+        if not self.admit(packet):
+            if self.observer is not None:
+                self.observer.on_drop(packet)
+            return False
+        packet.enqueued_at = self._clock()
+        self._buffer.append(packet)
+        self._bytes += packet.size
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head-of-line packet, or None if empty."""
+        if not self._buffer:
+            return None
+        packet = self._buffer.popleft()
+        self._bytes -= packet.size
+        return packet
+
+
+class DropTailQueue(QueueDiscipline):
+    """Plain FIFO tail-drop queue."""

@@ -1,0 +1,176 @@
+"""Random Early Detection (RED) queue management.
+
+Implements the classic Floyd & Jacobson RED estimator and drop logic in
+packet mode, with the "gentle" extension (drop probability ramps from
+``max_p`` to 1 between ``max_thresh`` and ``2 * max_thresh`` rather than
+jumping to 1), matching the configuration used by the paper's ns-2
+simulations.
+
+The paper's scenarios set ``min_thresh`` and ``max_thresh`` to 0.25 and 1.25
+times the bandwidth-delay product and the physical queue to 2.5 times the
+BDP; :func:`red_for_bdp` builds exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.net.queue import QueueDiscipline
+
+__all__ = ["REDQueue", "red_for_bdp"]
+
+
+class REDQueue(QueueDiscipline):
+    """RED AQM in packet mode.
+
+    Parameters
+    ----------
+    capacity_pkts:
+        Physical buffer size; arrivals beyond it are force-dropped.
+    min_thresh, max_thresh:
+        Average-queue thresholds, in packets.
+    max_p:
+        Drop probability as the average queue reaches ``max_thresh``.
+    weight:
+        EWMA weight for the average queue size estimator.
+    gentle:
+        Ramp drop probability to 1 at ``2 * max_thresh`` instead of
+        dropping everything above ``max_thresh``.
+    rng:
+        Random stream for drop decisions (deterministic in tests).
+    mean_packet_size:
+        Used to estimate how many packets could have been transmitted
+        during an idle period, for the idle-time estimator correction.
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        min_thresh: float,
+        max_thresh: float,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        gentle: bool = True,
+        rng: Optional[random.Random] = None,
+        mean_packet_size: int = 1000,
+        bandwidth_bps: float = 10e6,
+        ecn_marking: bool = False,
+    ):
+        super().__init__(capacity_pkts)
+        if not 0 < min_thresh < max_thresh:
+            raise ValueError("need 0 < min_thresh < max_thresh")
+        if not 0 < max_p <= 1:
+            raise ValueError("max_p must be in (0, 1]")
+        if not 0 < weight <= 1:
+            raise ValueError("weight must be in (0, 1]")
+        self.min_thresh = min_thresh
+        self.max_thresh = max_thresh
+        self.max_p = max_p
+        self.weight = weight
+        self.gentle = gentle
+        self._rng = rng if rng is not None else random.Random(0)
+        self._mean_pkt_time = mean_packet_size * 8.0 / bandwidth_bps
+        # With ECN marking (RFC 2481), early "drops" of ECN-capable packets
+        # become Congestion Experienced marks and the packet is enqueued.
+        self.ecn_marking = ecn_marking
+        self.marks = 0
+        self.avg = 0.0
+        self._count = 0  # packets since the last early drop
+        self._idle_since: Optional[float] = None
+
+    def _update_average(self) -> None:
+        """EWMA update, with the idle-period correction from the RED paper."""
+        q = len(self)
+        if q == 0 and self._idle_since is not None:
+            idle = self._clock() - self._idle_since
+            missed = int(idle / self._mean_pkt_time)
+            self.avg *= (1.0 - self.weight) ** missed
+            self._idle_since = None
+        self.avg += self.weight * (q - self.avg)
+
+    def _drop_probability(self) -> float:
+        """Early-drop probability for the current average queue size."""
+        if self.avg < self.min_thresh:
+            return 0.0
+        if self.avg < self.max_thresh:
+            frac = (self.avg - self.min_thresh) / (self.max_thresh - self.min_thresh)
+            return self.max_p * frac
+        if self.gentle and self.avg < 2 * self.max_thresh:
+            frac = (self.avg - self.max_thresh) / self.max_thresh
+            return self.max_p + (1.0 - self.max_p) * frac
+        return 1.0
+
+    def _congested(self, packet: Packet) -> bool:
+        """Mark instead of dropping when both ends are ECN-capable.
+
+        Returns True when the packet should be dropped; False when it was
+        marked (or nothing needed doing) and should be admitted.
+        """
+        if self.ecn_marking and packet.ect:
+            packet.ce = True
+            self.marks += 1
+            on_mark = getattr(self.observer, "on_mark", None)
+            if on_mark is not None:
+                on_mark(packet)
+            return False
+        return True
+
+    def admit(self, packet: Packet) -> bool:
+        self._update_average()
+        if len(self) >= self.capacity_pkts:
+            self._count = 0
+            return False  # physical overflow always drops, even with ECN
+        p_b = self._drop_probability()
+        if p_b <= 0.0:
+            self._count = -1
+            return True
+        if p_b >= 1.0:
+            self._count = 0
+            return not self._congested(packet)
+        self._count += 1
+        # Spread drops uniformly: p_a = p_b / (1 - count * p_b).
+        denominator = 1.0 - self._count * p_b
+        p_a = 1.0 if denominator <= 0 else min(1.0, p_b / denominator)
+        if self._rng.random() < p_a:
+            self._count = 0
+            return not self._congested(packet)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        packet = super().dequeue()
+        if packet is not None and len(self) == 0:
+            self._idle_since = self._clock()
+        return packet
+
+
+def red_for_bdp(
+    bandwidth_bps: float,
+    rtt_s: float,
+    packet_size: int = 1000,
+    queue_bdp: float = 2.5,
+    min_thresh_bdp: float = 0.25,
+    max_thresh_bdp: float = 1.25,
+    rng: Optional[random.Random] = None,
+    ecn_marking: bool = False,
+) -> REDQueue:
+    """RED queue with the paper's BDP-proportional configuration.
+
+    Queue capacity 2.5 x BDP, ``min_thresh`` 0.25 x BDP and ``max_thresh``
+    1.25 x BDP (Section 3 of the paper), with thresholds floored so tiny
+    scaled-down scenarios stay valid.
+    """
+    bdp_pkts = bandwidth_bps * rtt_s / (8.0 * packet_size)
+    capacity = max(4, int(round(queue_bdp * bdp_pkts)))
+    min_thresh = max(1.0, min_thresh_bdp * bdp_pkts)
+    max_thresh = max(min_thresh + 1.0, max_thresh_bdp * bdp_pkts)
+    return REDQueue(
+        capacity_pkts=capacity,
+        min_thresh=min_thresh,
+        max_thresh=max_thresh,
+        rng=rng,
+        mean_packet_size=packet_size,
+        bandwidth_bps=bandwidth_bps,
+        ecn_marking=ecn_marking,
+    )

@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel: clock, events, timers, RNG, tracing."""
+
+from repro.sim.engine import Event, SimulationError, Simulator, Timer
+from repro.sim.process import PeriodicTask
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import Counter, TimeSeries, interval_average
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "PeriodicTask",
+    "RngRegistry",
+    "Counter",
+    "TimeSeries",
+    "interval_average",
+]

@@ -1,0 +1,176 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic calendar of timestamped events backed by a binary
+heap.  All network components in :mod:`repro.net` and all congestion-control
+agents in :mod:`repro.cc` schedule their work through a single
+:class:`Simulator` instance, which guarantees a global, deterministic event
+order: events fire in timestamp order, with insertion order breaking ties.
+
+Nothing here knows about packets or links; the kernel only moves simulated
+time forward and invokes callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "Timer", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, running twice...)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.at` and can be cancelled before they fire.  Cancellation
+    is lazy: the heap entry stays in place and is discarded when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} fn={getattr(self.fn, '__qualname__', self.fn)} {state}>"
+
+
+class Simulator:
+    """An event-driven simulation clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (1.5, ['hello'])
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute time ``time``."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule at time NaN")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}: clock is already at {self._now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events in order until the calendar drains or ``until`` is hit.
+
+        When ``until`` is given, the clock is advanced exactly to ``until``
+        even if the last event fires earlier, so back-to-back ``run`` calls
+        observe a monotonic clock.  Events scheduled at exactly ``until`` do
+        fire.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fn(*event.args)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns."""
+        self._stopped = True
+
+
+class Timer:
+    """A restartable one-shot timer, e.g. a TCP retransmission timer.
+
+    A timer wraps a callback and manages the single outstanding event for it:
+    (re)scheduling cancels any previous schedule.
+    """
+
+    def __init__(self, sim: Simulator, fn: Callable[[], Any]):
+        self._sim = sim
+        self._fn = fn
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether the timer is armed."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute time the timer will fire, or None if not armed."""
+        if self.pending:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def schedule(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn()

@@ -1,0 +1,79 @@
+"""Periodic processes on top of the event kernel.
+
+:class:`PeriodicTask` runs a callback at a fixed interval (with optional
+phase jitter), the building block for samplers and pollers that need a
+regular cadence without each writing its own timer chain.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator, Timer
+
+__all__ = ["PeriodicTask"]
+
+
+class PeriodicTask:
+    """Invoke ``fn()`` every ``interval`` seconds until stopped.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    interval:
+        Seconds between invocations.
+    fn:
+        Zero-argument callback.
+    jitter:
+        Uniform per-tick jitter in [0, jitter) seconds added to each
+        interval, for breaking phase locks between many periodic sources.
+    rng:
+        Random stream for the jitter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn: Callable[[], None],
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random(0)
+        self._timer = Timer(sim, self._tick)
+        self.ticks = 0
+        self.running = False
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin ticking; the first invocation happens after ``delay``."""
+        if self.running:
+            return
+        self.running = True
+        self._timer.schedule(delay if delay > 0 else self._next_interval())
+
+    def stop(self) -> None:
+        self.running = False
+        self._timer.cancel()
+
+    def _next_interval(self) -> float:
+        if self.jitter > 0:
+            return self.interval + self._rng.uniform(0.0, self.jitter)
+        return self.interval
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        self.ticks += 1
+        self.fn()
+        if self.running:  # fn may have called stop()
+            self._timer.schedule(self._next_interval())

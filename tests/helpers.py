@@ -1,0 +1,41 @@
+"""Shared test fixtures: a two-node loopback path with optional dropper."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import Receiver, Sender
+from repro.net import DropTailQueue, Dropper, Link, Node
+from repro.sim import Simulator
+
+
+def loopback(
+    sim: Simulator,
+    sender: Sender,
+    receiver: Receiver,
+    rtt: float = 0.05,
+    bandwidth_bps: float = 1e7,
+    dropper: Optional[Dropper] = None,
+    queue_pkts: int = 100_000,
+    flow_id: int = 0,
+) -> None:
+    """Wire sender -> (dropper) -> receiver and the reverse ACK path.
+
+    The forward path has ``bandwidth_bps`` and half the RTT of propagation;
+    the return path is identical.  A dropper, when given, sits after the
+    forward link, imposing its loss pattern regardless of queue state.
+    """
+    node_a = Node(sim, address=1, name="src")
+    node_b = Node(sim, address=2, name="dst")
+    forward = Link(sim, bandwidth_bps, rtt / 2.0, DropTailQueue(queue_pkts), name="fwd")
+    backward = Link(sim, bandwidth_bps, rtt / 2.0, DropTailQueue(queue_pkts), name="bwd")
+    if dropper is not None:
+        dropper.connect(node_b.receive)
+        forward.connect(dropper.receive)
+    else:
+        forward.connect(node_b.receive)
+    backward.connect(node_a.receive)
+    node_a.add_route(2, forward)
+    node_b.add_route(1, backward)
+    sender.attach(node_a, 2, flow_id)
+    receiver.attach(node_b, 1, flow_id)

@@ -1,0 +1,143 @@
+"""Unit tests for the closed-form models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    acks_to_fairness,
+    aimd_aggressiveness_pps,
+    aimd_responsiveness_rtts,
+    contraction_factor,
+    f_of_k_aimd_approx,
+    figure20_series,
+    iterate_expected_windows,
+    tfrc_responsiveness_rtts,
+)
+
+
+class TestConvergenceModel:
+    def test_contraction_factor(self):
+        assert contraction_factor(0.5, 0.1) == pytest.approx(0.95)
+
+    def test_acks_to_fairness_reference(self):
+        # log_{0.95}(0.1) ~ 44.9 ACKs for TCP at p = 0.1.
+        assert acks_to_fairness(0.5, 0.1, 0.1) == pytest.approx(44.9, rel=0.01)
+
+    def test_smaller_b_needs_exponentially_more_acks(self):
+        fast = acks_to_fairness(0.5, 0.1)
+        slow = acks_to_fairness(1 / 256, 0.1)
+        assert slow / fast > 50
+
+    def test_knee_around_b_02(self):
+        """Figure 11: b > ~0.2 converges fast, smaller b blows up."""
+        at_02 = acks_to_fairness(0.2, 0.1)
+        at_005 = acks_to_fairness(0.05, 0.1)
+        assert at_02 < 150
+        assert at_005 > 3 * at_02
+
+    def test_recurrence_matches_contraction(self):
+        """The expected-window iteration contracts at the predicted rate."""
+        a, b, p = 1.0, 0.5, 0.05
+        trajectory = iterate_expected_windows(30.0, 5.0, a, b, p, steps=200)
+        x1_0, x2_0 = trajectory[0]
+        x1_n, x2_n = trajectory[200]
+        observed = abs(x1_n - x2_n) / abs(x1_0 - x2_0)
+        predicted = contraction_factor(b, p) ** 200
+        # The closed form drops the additive-increase coupling; same order.
+        assert observed == pytest.approx(predicted, rel=0.5)
+
+    def test_windows_converge_to_equal(self):
+        trajectory = iterate_expected_windows(50.0, 1.0, 1.0, 0.5, 0.1, steps=2000)
+        x1, x2 = trajectory[-1]
+        assert x1 == pytest.approx(x2, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            acks_to_fairness(0.0, 0.1)
+        with pytest.raises(ValueError):
+            acks_to_fairness(0.5, 1.5)
+        with pytest.raises(ValueError):
+            acks_to_fairness(0.5, 0.1, delta=0.0)
+        with pytest.raises(ValueError):
+            iterate_expected_windows(0.0, 1.0, 1.0, 0.5, 0.1, 10)
+
+    @given(st.floats(0.01, 0.9), st.floats(0.01, 0.5))
+    def test_monotone_in_b(self, b, p):
+        """More drastic decrease -> faster convergence, always."""
+        slower = acks_to_fairness(b / 2, p)
+        faster = acks_to_fairness(b, p)
+        assert faster < slower
+
+
+class TestAggressiveness:
+    def test_tcp_aggressiveness(self):
+        # a = 1 packet per RTT of 50 ms -> 20 packets/s per RTT.
+        assert aimd_aggressiveness_pps(1.0, 0.05) == pytest.approx(20.0)
+
+    def test_tcp_responsiveness_is_1(self):
+        assert aimd_responsiveness_rtts(0.5) == 1
+
+    def test_slow_aimd_responsiveness(self):
+        assert aimd_responsiveness_rtts(0.125) == 6  # 0.875^6 < 0.5
+        assert aimd_responsiveness_rtts(1 / 256) > 150
+
+    def test_tfrc_responsiveness_in_paper_range(self):
+        # Paper: default TFRC responsiveness is 4-6 RTTs.
+        assert 4 <= tfrc_responsiveness_rtts(6) <= 6
+
+    def test_f_of_k_approx(self):
+        # 10 Mbps = 1250 packets/s, RTT 50 ms, lambda = 625 pps before the
+        # doubling; TCP: f(20) ~ 1/2 + 20/(4 * 0.05 * 625) = 0.66.
+        value = f_of_k_aimd_approx(20, 1.0, 0.05, 625.0)
+        assert value == pytest.approx(0.66, abs=0.01)
+
+    def test_f_of_k_caps_at_one(self):
+        assert f_of_k_aimd_approx(10_000, 1.0, 0.05, 10.0) == 1.0
+
+    def test_slower_aimd_has_lower_f_of_k(self):
+        from repro.cc import tcp_compatible_a
+
+        tcp = f_of_k_aimd_approx(20, tcp_compatible_a(0.5), 0.05, 625.0)
+        slow = f_of_k_aimd_approx(20, tcp_compatible_a(1 / 8), 0.05, 625.0)
+        assert slow < tcp
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aimd_aggressiveness_pps(0.0, 0.05)
+        with pytest.raises(ValueError):
+            aimd_responsiveness_rtts(1.0)
+        with pytest.raises(ValueError):
+            tfrc_responsiveness_rtts(0)
+        with pytest.raises(ValueError):
+            f_of_k_aimd_approx(0, 1.0, 0.05, 100.0)
+
+
+class TestFigure20:
+    def test_rows_cover_models(self):
+        rows = figure20_series([0.01, 0.1, 0.5, 0.9])
+        assert len(rows) == 4
+        low = rows[0]
+        assert low.pure_aimd == pytest.approx(math.sqrt(150), rel=0.01)
+        assert low.reno < low.pure_aimd  # timeouts only hurt
+
+    def test_pure_aimd_nan_above_one_third(self):
+        rows = figure20_series([0.5])
+        assert math.isnan(rows[0].pure_aimd)
+
+    def test_bounds_bracket_reno_at_high_loss(self):
+        """Appendix A: AIMD-with-timeouts upper-bounds Reno.  (At p -> 1 the
+        curves converge and the ordering depends on the RTO/RTT ratio, so we
+        assert over the paper's meaningful range.)"""
+        for row in figure20_series([0.5, 0.6, 0.7, 0.8]):
+            assert row.aimd_with_timeouts >= row.reno
+
+    def test_worked_example_p_half(self):
+        rows = figure20_series([0.5])
+        assert rows[0].aimd_with_timeouts == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            figure20_series([0.0])

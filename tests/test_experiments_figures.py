@@ -1,0 +1,167 @@
+"""Plumbing tests for every figure module.
+
+Each module's ``run()`` is exercised with miniature parameter overrides so
+the table-building paths stay covered without the benchmark-scale cost.
+Shape assertions on the real configurations live in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ALL_FIGURES,
+    fig03_cbr_restart,
+    fig04_stabilization_time,
+    fig05_stabilization_cost,
+    fig06_flash_crowd,
+    fig07_tcp_vs_tfrc,
+    fig08_tcp_vs_tcp8,
+    fig09_tcp_vs_sqrt,
+    fig10_convergence_tcp,
+    fig11_convergence_analysis,
+    fig12_convergence_tfrc,
+    fig13_fk_utilization,
+    fig14_oscillation_utilization,
+    fig15_oscillation_droprate,
+    fig16_extreme_oscillation,
+    fig17_mild_bursty,
+    fig18_severe_bursty,
+    fig19_iiad_sqrt,
+    fig20_timeout_models,
+)
+from repro.experiments.protocols import tcp
+
+TINY_CBR = dict(
+    bandwidth_bps=1e6, n_flows=2, warmup_s=2.0, cbr_stop=8.0,
+    cbr_restart=10.0, end=14.0,
+)
+TINY_OSC = dict(
+    bandwidth_bps=1.5e6, n_flows_a=1, n_flows_b=1,
+    min_duration_s=10.0, periods_to_run=3, max_duration_s=12.0, warmup_s=2.0,
+)
+TINY_LOSS = dict(bandwidth_bps=3e6, duration_s=10.0, warmup_s=2.0)
+
+
+class TestRegistry:
+    def test_all_18_figures_registered(self):
+        assert len(ALL_FIGURES) == 18
+        assert sorted(ALL_FIGURES) == [f"fig{n:02d}" for n in range(3, 21)]
+
+    def test_every_module_has_run(self):
+        for module in ALL_FIGURES.values():
+            assert callable(module.run)
+
+
+class TestSimulationFigures:
+    def test_fig03(self):
+        table = fig03_cbr_restart.run("fast", protocols=[tcp(2)], **TINY_CBR)
+        assert table.rows
+        assert set(table.column("protocol")) == {"TCP(0.5)"}
+
+    def test_fig04_and_05_share_sweep(self):
+        results = fig04_stabilization_time.sweep(
+            "fast", gammas=[2], families={"TCP(1/g)": lambda g: tcp(g)}, **TINY_CBR
+        )
+        t4 = fig04_stabilization_time.table_from_sweep(results, "time")
+        t5 = fig04_stabilization_time.table_from_sweep(results, "cost")
+        assert t4.rows and t5.rows
+        assert t4.rows[0][2] > 0
+        with pytest.raises(ValueError):
+            fig04_stabilization_time.table_from_sweep(results, "bogus")
+
+    def test_fig06(self):
+        table = fig06_flash_crowd.run(
+            "fast",
+            protocols=[tcp(2)],
+            bandwidth_bps=2e6,
+            n_background=2,
+            crowd_rate_per_s=30.0,
+            crowd_duration_s=1.0,
+            crowd_start=3.0,
+            end=8.0,
+        )
+        assert len(table.rows) == 8  # one row per 1 s bin
+
+    @pytest.mark.parametrize(
+        "module", [fig07_tcp_vs_tfrc, fig08_tcp_vs_tcp8, fig09_tcp_vs_sqrt]
+    )
+    def test_fairness_figures(self, module):
+        table = module.run("fast", periods=[1.0], **TINY_OSC)
+        assert len(table.rows) == 1
+        period, tcp_share, other_share, util, drop = table.rows[0]
+        assert period == 1.0
+        assert tcp_share > 0 and other_share > 0
+        assert 0 < util <= 1.5
+
+    def test_fig10(self):
+        table = fig10_convergence_tcp.run(
+            "fast", bs=[0.5], bandwidth_bps=1e6, second_start=4.0, end=30.0,
+            seeds=(1,),
+        )
+        assert len(table.rows) == 1
+        assert table.rows[0][1] > 0
+
+    def test_fig12(self):
+        table = fig12_convergence_tfrc.run(
+            "fast", ks=[2], bandwidth_bps=1e6, second_start=4.0, end=30.0,
+            seeds=(1,),
+        )
+        assert len(table.rows) == 1
+
+    def test_fig13(self):
+        table = fig13_fk_utilization.run(
+            "fast",
+            gammas=[2],
+            families={"TCP(1/b)": lambda g: tcp(g)},
+            bandwidth_bps=2e6,
+            n_flows=4,
+            n_stopped=2,
+            stop_at=10.0,
+        )
+        assert len(table.rows) == 1
+        _, _, f20, f200 = table.rows[0]
+        assert 0 < f20 <= 1.1 and 0 < f200 <= 1.1
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            fig14_oscillation_utilization,
+            fig15_oscillation_droprate,
+            fig16_extreme_oscillation,
+        ],
+    )
+    def test_oscillation_figures(self, module):
+        table = module.run(
+            "fast", on_times=[0.5], protocols=[tcp(2)], n_flows=2, **TINY_OSC
+        )
+        assert len(table.rows) == 1
+        assert table.rows[0][2] >= 0
+
+    def test_fig17(self):
+        table = fig17_mild_bursty.run("fast", protocols=[tcp(2)], **TINY_LOSS)
+        assert len(table.rows) == 1
+        assert table.rows[0][1] > 0  # throughput
+
+    def test_fig18(self):
+        table = fig18_severe_bursty.run(
+            "fast", protocols=[tcp(2)], phases=[(2.0, 100), (0.5, 4)], **TINY_LOSS
+        )
+        assert len(table.rows) == 1
+
+    def test_fig19(self):
+        table = fig19_iiad_sqrt.run("fast", **TINY_LOSS)
+        names = set(table.column("protocol"))
+        assert names == {"IIAD", "SQRT(0.5)"}
+
+
+class TestAnalyticFigures:
+    def test_fig11(self):
+        table = fig11_convergence_analysis.run()
+        acks = table.column("expected_acks")
+        assert all(a > 0 for a in acks)
+
+    def test_fig20(self):
+        table = fig20_timeout_models.run()
+        assert any(math.isnan(row[1]) for row in table.rows)  # pure AIMD cut off
+        assert all(row[3] > 0 for row in table.rows)

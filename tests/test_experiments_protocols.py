@@ -1,0 +1,81 @@
+"""Unit tests for the named protocol factories."""
+
+import pytest
+
+from repro.cc.rap import RapSender
+from repro.cc.tcp import TcpSender
+from repro.cc.tear import TearSender
+from repro.cc.tfrc import TfrcSender
+from repro.experiments.protocols import (
+    iiad,
+    rap,
+    sqrt,
+    standard_gammas,
+    tcp,
+    tcp_b,
+    tear,
+    tfrc,
+)
+from repro.sim import Simulator
+
+
+class TestFactories:
+    def test_tcp_gamma_naming_and_rule(self):
+        protocol = tcp(8)
+        assert protocol.name == "TCP(0.125)"
+        sender, receiver = protocol.make(Simulator())
+        assert isinstance(sender, TcpSender)
+        assert sender.rule.b == pytest.approx(0.125)
+
+    def test_tcp_b_standard(self):
+        protocol = tcp_b(0.5)
+        sender, _ = protocol.make(Simulator())
+        assert sender.rule.a == pytest.approx(1.0)
+
+    def test_sqrt_rule_exponents(self):
+        sender, _ = sqrt(4).make(Simulator())
+        assert sender.rule.k == 0.5 and sender.rule.l == 0.5
+        assert sender.rule.b == pytest.approx(0.25)
+
+    def test_iiad_rule_exponents(self):
+        sender, _ = iiad().make(Simulator())
+        assert sender.rule.k == 1.0 and sender.rule.l == 0.0
+
+    def test_rap_parameters(self):
+        protocol = rap(16)
+        sender, _ = protocol.make(Simulator())
+        assert isinstance(sender, RapSender)
+        assert sender.b == pytest.approx(1 / 16)
+        assert protocol.rate_based and not protocol.self_clocked
+
+    def test_tfrc_parameters(self):
+        protocol = tfrc(32, conservative=True)
+        sender, receiver = protocol.make(Simulator())
+        assert isinstance(sender, TfrcSender)
+        assert sender.conservative
+        assert receiver.history.n == 32
+        assert protocol.name == "TFRC(32)+SC"
+        assert protocol.self_clocked
+
+    def test_tfrc_plain_not_self_clocked(self):
+        assert not tfrc(6).self_clocked
+
+    def test_tear_factory(self):
+        sender, receiver = tear(epochs=4).make(Simulator())
+        assert isinstance(sender, TearSender)
+        assert receiver.epochs == 4
+
+    def test_each_make_call_is_fresh(self):
+        protocol = tcp(2)
+        sim = Simulator()
+        s1, _ = protocol.make(sim)
+        s2, _ = protocol.make(sim)
+        assert s1 is not s2
+
+    def test_standard_gammas_span_paper_range(self):
+        gammas = standard_gammas()
+        assert gammas[0] == 1 and gammas[-1] == 256
+        assert gammas == sorted(gammas)
+
+    def test_str_is_name(self):
+        assert str(tcp(2)) == "TCP(0.5)"

@@ -1,0 +1,76 @@
+"""Unit tests for the Table result container and config picking."""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import Table, pick_config
+from repro.experiments.scenarios import CbrRestartConfig, OscillationConfig
+
+
+class TestTable:
+    def build(self):
+        table = Table(title="T", columns=["name", "x", "y"])
+        table.add("a", 1, 2.5)
+        table.add("b", 2, float("nan"))
+        return table
+
+    def test_add_and_column(self):
+        table = self.build()
+        assert table.column("name") == ["a", "b"]
+        assert table.column("x") == [1, 2]
+
+    def test_add_wrong_arity_rejected(self):
+        table = self.build()
+        with pytest.raises(ValueError):
+            table.add("c", 1)
+
+    def test_rows_where(self):
+        table = self.build()
+        assert table.rows_where("name", "a") == [("a", 1, 2.5)]
+        assert table.rows_where("name", "zzz") == []
+
+    def test_format_contains_headers_and_values(self):
+        text = self.build().format()
+        assert "T" in text
+        assert "name" in text and "x" in text
+        assert "2.5" in text
+        assert "-" in text  # NaN renders as a dash
+
+    def test_format_empty_table(self):
+        table = Table(title="empty", columns=["a"])
+        text = table.format()
+        assert "empty" in text
+
+    def test_notes_appended(self):
+        table = Table(title="T", columns=["a"], notes="a note")
+        assert "a note" in table.format()
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError):
+            self.build().column("zzz")
+
+    def test_cell_formatting_ranges(self):
+        table = Table(title="T", columns=["v"])
+        table.add(123456.0)
+        table.add(0.00001)
+        table.add(0.0)
+        text = table.format()
+        assert "1.23e+05" in text
+        assert "1e-05" in text
+
+
+class TestPickConfig:
+    def test_fast_and_paper(self):
+        fast = pick_config(CbrRestartConfig, "fast")
+        paper = pick_config(CbrRestartConfig, "paper")
+        assert fast.end < paper.end
+        assert paper.cbr_restart == 180.0
+
+    def test_overrides_forwarded(self):
+        cfg = pick_config(OscillationConfig, "fast", seed=99)
+        assert cfg.seed == 99
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            pick_config(CbrRestartConfig, "huge")

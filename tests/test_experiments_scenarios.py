@@ -1,0 +1,176 @@
+"""Scenario-level tests on miniature configurations.
+
+These run the real scenario machinery end to end, but on tiny links and
+short horizons so the whole file stays fast.  Shape-level assertions on the
+paper's results live in benchmarks/; here we verify the plumbing: phases
+happen, metrics are computed, results are well-formed.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.protocols import tcp, tfrc
+from repro.experiments.scenarios import (
+    CbrRestartConfig,
+    ConvergenceConfig,
+    DoublingConfig,
+    FlashCrowdConfig,
+    LossPatternConfig,
+    OscillationConfig,
+    run_cbr_restart,
+    run_convergence,
+    run_doubling,
+    run_flash_crowd,
+    run_loss_pattern,
+    run_oscillation,
+)
+from repro.net.droppers import PeriodicDropper
+
+
+class TestCbrRestart:
+    CFG = CbrRestartConfig(
+        bandwidth_bps=1e6,
+        n_flows=3,
+        warmup_s=4.0,
+        cbr_stop=15.0,
+        cbr_restart=20.0,
+        end=35.0,
+    )
+
+    def test_result_well_formed(self):
+        result = run_cbr_restart(tcp(2), self.CFG)
+        assert result.protocol == "TCP(0.5)"
+        assert 0.0 <= result.steady_loss_rate < 0.5
+        assert result.stabilization.time_s > 0
+        assert len(result.loss_series) > 0
+
+    def test_congestion_exists_during_cbr(self):
+        result = run_cbr_restart(tcp(2), self.CFG)
+        assert result.steady_loss_rate > 0.001
+
+    def test_spike_at_restart(self):
+        result = run_cbr_restart(tcp(2), self.CFG)
+        assert result.spike_loss_rate >= 0.0
+
+
+class TestOscillation:
+    CFG = OscillationConfig(
+        bandwidth_bps=1.5e6,
+        n_flows_a=2,
+        n_flows_b=2,
+        min_duration_s=20.0,
+        periods_to_run=5,
+        max_duration_s=30.0,
+        warmup_s=5.0,
+    )
+
+    def test_mixed_flows(self):
+        result = run_oscillation(tcp(2), tfrc(6), 1.0, self.CFG)
+        assert len(result.shares_a) == 2 and len(result.shares_b) == 2
+        assert result.mean_a > 0 and result.mean_b > 0
+        assert 0 < result.utilization <= 1.5
+
+    def test_identical_flows(self):
+        result = run_oscillation(tcp(2), None, 1.0, self.CFG)
+        assert result.protocol_b is None
+        assert result.shares_b == []
+        assert math.isnan(result.mean_b)
+
+    def test_duration_respects_bounds(self):
+        assert self.CFG.duration(1.0) == 20.0  # min wins
+        assert self.CFG.duration(5.0) == 25.0  # periods win
+        assert self.CFG.duration(100.0) == 30.0  # max caps
+
+    def test_mean_available(self):
+        cfg = OscillationConfig(bandwidth_bps=15e6, cbr_fraction=2 / 3)
+        assert cfg.mean_available_bps == pytest.approx(10e6)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            run_oscillation(tcp(2), None, 0.0, self.CFG)
+
+
+class TestConvergence:
+    CFG = ConvergenceConfig(
+        bandwidth_bps=1e6,
+        second_start=8.0,
+        end=60.0,
+        seeds=(1,),
+    )
+
+    def test_returns_positive_time(self):
+        t = run_convergence(tcp(2), self.CFG)
+        assert 0 < t <= 52.0
+
+    def test_slow_start_disabled_by_default(self):
+        assert self.CFG.disable_slow_start
+
+
+class TestDoubling:
+    CFG = DoublingConfig(
+        bandwidth_bps=2e6,
+        n_flows=4,
+        n_stopped=2,
+        stop_at=20.0,
+        ks=(20, 100),
+    )
+
+    def test_f_values_in_range(self):
+        result = run_doubling(tcp(2), self.CFG)
+        assert set(result.f_of_k) == {20, 100}
+        for value in result.f_of_k.values():
+            assert 0.3 <= value <= 1.1
+
+    def test_survivors_pick_up_bandwidth(self):
+        result = run_doubling(tcp(2), self.CFG)
+        # TCP reclaims most of the doubled bandwidth within 100 RTTs.
+        assert result.f_of_k[100] > 0.7
+
+
+class TestFlashCrowd:
+    CFG = FlashCrowdConfig(
+        bandwidth_bps=2e6,
+        n_background=2,
+        crowd_rate_per_s=40.0,
+        crowd_duration_s=2.0,
+        crowd_start=5.0,
+        end=15.0,
+    )
+
+    def test_series_and_counts(self):
+        result = run_flash_crowd(tcp(2), self.CFG)
+        assert result.crowd_spawned > 20
+        assert result.crowd_completed <= result.crowd_spawned
+        assert len(result.background_series) == len(result.crowd_series)
+        assert 0 <= result.crowd_share_during <= 1.0
+
+    def test_crowd_quiet_before_start(self):
+        result = run_flash_crowd(tcp(2), self.CFG)
+        before = [v for t, v in result.crowd_series if t <= self.CFG.crowd_start]
+        assert all(v == 0.0 for v in before)
+
+
+class TestLossPattern:
+    CFG = LossPatternConfig(
+        bandwidth_bps=4e6,
+        duration_s=20.0,
+        warmup_s=4.0,
+    )
+
+    def test_result_well_formed(self):
+        result = run_loss_pattern(
+            tcp(2), lambda sim: PeriodicDropper(100), self.CFG
+        )
+        assert result.throughput_bps > 0
+        assert result.drops > 0
+        assert len(result.fine_rates_bps) > len(result.coarse_rates_bps)
+        assert 0 <= result.smoothness.cov
+
+    def test_loss_free_flow_is_smooth(self):
+        # A dropper that never fires: the flow saturates and stays flat.
+        result = run_loss_pattern(
+            tcp(2), lambda sim: PeriodicDropper(10**9), self.CFG
+        )
+        assert result.drops == 0
+        assert result.smoothness.cov < 0.25

@@ -1,0 +1,101 @@
+"""Static TCP-compatibility validation (the paper's Section 2 premise).
+
+Under an imposed steady loss rate, every TCP-compatible algorithm should
+obtain roughly the throughput the TCP response function predicts.  These
+tests drive each protocol through a dropper at a known loss rate on an
+otherwise uncongested path and compare measured throughput to the model.
+This validates the whole stack end to end before the dynamic experiments.
+"""
+
+import pytest
+
+from repro.cc import (
+    new_rap_flow,
+    new_tcp_flow,
+    new_tfrc_flow,
+    padhye_rate_pps,
+    simple_response_rate,
+    sqrt_rule,
+    tcp_rule,
+)
+from repro.net import PeriodicDropper
+from repro.sim import Simulator
+
+from tests.helpers import loopback
+
+RTT = 0.05
+PKT = 1000
+
+
+def measured_pps(sender, receiver, duration=120.0, warmup=30.0):
+    sim = sender.sim
+    start_count = {}
+
+    counts = []
+    times = []
+
+    def track(packet):
+        counts.append(1)
+        times.append(sim.now)
+
+    receiver.on_data.append(track)
+    sender.start()
+    sim.run(until=duration)
+    in_window = sum(1 for t in times if warmup <= t < duration)
+    return in_window / (duration - warmup)
+
+
+class TestStaticCompatibility:
+    """All TCP-compatible algorithms should track the response function."""
+
+    def test_tcp_matches_model_at_one_percent_loss(self):
+        sim = Simulator()
+        sender, sink = new_tcp_flow(sim, rule=tcp_rule(0.5))
+        loopback(sim, sender, sink, rtt=RTT, dropper=PeriodicDropper(100))
+        rate = measured_pps(sender, sink)
+        model = simple_response_rate(0.01) / RTT
+        assert rate == pytest.approx(model, rel=0.4)
+
+    def test_tcp_slow_variant_is_compatible(self):
+        """TCP(1/8) with the paper's a(b) stays within a factor ~1.5 of TCP."""
+        rates = {}
+        for b in (0.5, 0.125):
+            sim = Simulator()
+            sender, sink = new_tcp_flow(sim, rule=tcp_rule(b))
+            loopback(sim, sender, sink, rtt=RTT, dropper=PeriodicDropper(100))
+            rates[b] = measured_pps(sender, sink)
+        assert rates[0.125] == pytest.approx(rates[0.5], rel=0.5)
+
+    def test_sqrt_is_compatible(self):
+        sim = Simulator()
+        sender, sink = new_tcp_flow(sim, rule=sqrt_rule(0.5))
+        loopback(sim, sender, sink, rtt=RTT, dropper=PeriodicDropper(100))
+        rate = measured_pps(sender, sink)
+        model = simple_response_rate(0.01) / RTT
+        assert rate == pytest.approx(model, rel=0.5)
+
+    def test_tfrc_matches_padhye_model(self):
+        sim = Simulator()
+        sender, receiver = new_tfrc_flow(sim, n_intervals=8)
+        loopback(sim, sender, receiver, rtt=RTT, dropper=PeriodicDropper(100))
+        rate = measured_pps(sender, receiver)
+        model = padhye_rate_pps(0.01, RTT)
+        assert rate == pytest.approx(model, rel=0.4)
+
+    def test_rap_is_compatible(self):
+        sim = Simulator()
+        sender, sink = new_rap_flow(sim, b=0.5)
+        loopback(sim, sender, sink, rtt=RTT, dropper=PeriodicDropper(100))
+        rate = measured_pps(sender, sink)
+        model = simple_response_rate(0.01) / RTT
+        assert rate == pytest.approx(model, rel=0.5)
+
+    def test_response_scales_with_loss_rate(self):
+        """Halving the drop period should scale TCP throughput ~ 1/sqrt(2)."""
+        rates = {}
+        for period in (64, 256):
+            sim = Simulator()
+            sender, sink = new_tcp_flow(sim)
+            loopback(sim, sender, sink, rtt=RTT, dropper=PeriodicDropper(period))
+            rates[period] = measured_pps(sender, sink)
+        assert rates[256] / rates[64] == pytest.approx(2.0, rel=0.35)

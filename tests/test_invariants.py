@@ -1,0 +1,138 @@
+"""Property-based and invariant tests across the stack.
+
+These pin down conservation laws the simulator must obey regardless of
+workload: packets are never created or duplicated by the network, link
+throughput never exceeds capacity, queues respect their bounds, and the
+congestion-control senders keep their state in legal ranges.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import establish, new_rap_flow, new_tcp_flow, new_tfrc_flow
+from repro.cc.binomial import sqrt_rule, tcp_rule
+from repro.net import DropTailQueue, Dumbbell, Link, Packet, PeriodicDropper
+from repro.net.packet import DATA
+from repro.sim import Simulator
+
+from tests.helpers import loopback
+
+
+class TestNetworkConservation:
+    @given(
+        capacity=st.integers(1, 20),
+        sends=st.integers(1, 60),
+        bandwidth=st.floats(1e4, 1e7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_link_conserves_packets(self, capacity, sends, bandwidth):
+        """delivered + dropped == offered, always."""
+        sim = Simulator()
+        link = Link(sim, bandwidth, 0.001, DropTailQueue(capacity))
+        delivered = []
+        link.connect(delivered.append)
+        dropped = {"n": 0}
+
+        class Obs:
+            def on_arrival(self, p):
+                pass
+
+            def on_drop(self, p):
+                dropped["n"] += 1
+
+        link.queue.observer = Obs()
+        for seq in range(sends):
+            link.send(Packet(0, DATA, seq, 1000, 0, 1))
+        sim.run()
+        assert len(delivered) + dropped["n"] == sends
+        # No duplication: each seq at most once.
+        seqs = [p.seq for p in delivered]
+        assert len(seqs) == len(set(seqs))
+
+    @given(bandwidth=st.floats(5e4, 5e6))
+    @settings(max_examples=10, deadline=None)
+    def test_throughput_never_exceeds_capacity(self, bandwidth):
+        sim = Simulator()
+        net = Dumbbell(sim, bandwidth_bps=bandwidth, rtt_s=0.05)
+        sender, sink = new_tcp_flow(sim)
+        flow = establish(net, sender, sink)
+        sender.start()
+        sim.run(until=20.0)
+        throughput = net.accountant.throughput_bps(flow, 5.0, 20.0)
+        assert throughput <= bandwidth * 1.001
+        assert net.monitor.utilization(5.0, 20.0) <= 1.001
+
+    def test_receiver_sees_every_seq_at_most_once_under_loss(self):
+        sim = Simulator()
+        sender, sink = new_tcp_flow(sim, max_packets=300)
+        loopback(sim, sender, sink, dropper=PeriodicDropper(17))
+        seen = []
+        sink.on_data.append(lambda p: seen.append(p.seq))
+        sender.start()
+        sim.run(until=120.0)
+        assert len(seen) == len(set(seen))
+        assert sorted(seen) == list(range(300))
+
+
+class TestSenderStateInvariants:
+    def run_flow(self, maker, dropper_period, until=30.0):
+        sim = Simulator()
+        sender, receiver = maker(sim)
+        loopback(sim, sender, receiver, dropper=PeriodicDropper(dropper_period))
+        sender.start()
+        sim.run(until=until)
+        return sender
+
+    @pytest.mark.parametrize("period", [5, 29, 211])
+    def test_tcp_window_bounds(self, period):
+        sender = self.run_flow(lambda s: new_tcp_flow(s, tcp_rule(0.5)), period)
+        assert sender.cwnd >= 1.0
+        for _, w in sender.cwnd_trace:
+            assert w >= 1.0
+
+    @pytest.mark.parametrize("period", [5, 29, 211])
+    def test_sqrt_window_bounds(self, period):
+        sender = self.run_flow(lambda s: new_tcp_flow(s, sqrt_rule(0.5)), period)
+        assert sender.cwnd >= 1.0
+
+    @pytest.mark.parametrize("period", [7, 53])
+    def test_rap_rate_bounds(self, period):
+        sender = self.run_flow(lambda s: new_rap_flow(s, b=0.5), period)
+        assert sender.w >= 1.0
+        assert sender.srtt > 0
+        for _, rate in sender.rate_trace:
+            assert rate > 0
+
+    @pytest.mark.parametrize("period", [7, 53])
+    def test_tfrc_rate_bounds(self, period):
+        sender = self.run_flow(lambda s: new_tfrc_flow(s, n_intervals=6), period)
+        assert sender.rate_bps >= sender._min_rate_bps()
+        assert 0.0 <= sender.p <= 1.0
+
+    def test_tcp_sequence_monotone(self):
+        sender = self.run_flow(lambda s: new_tcp_flow(s), 19)
+        assert 0 <= sender.snd_una <= sender.snd_nxt
+
+
+class TestConservativeRap:
+    def test_conservative_rap_clamps_to_ack_rate(self):
+        """After ACKs stop, the conservative variant shuts down fast while
+        plain RAP keeps transmitting."""
+        from repro.cc.rap import RapSender, RapSink
+        from repro.net import CutoffDropper
+
+        sent = {}
+        for conservative in (False, True):
+            sim = Simulator()
+            sender = RapSender(sim, b=1 / 64, conservative=conservative)
+            sink = RapSink(sim)
+            loopback(sim, sender, sink, dropper=CutoffDropper(3000))
+            sender.start()
+            sim.run(until=20.0)
+            before = sender.packets_sent
+            sim.run(until=40.0)
+            sent[conservative] = sender.packets_sent - before
+        assert sent[True] < sent[False]

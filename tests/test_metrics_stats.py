@@ -1,0 +1,97 @@
+"""Tests for the replication-statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import Summary, replicate, summarize, t_quantile_975
+
+
+class TestTQuantile:
+    def test_known_values(self):
+        assert t_quantile_975(1) == pytest.approx(12.706)
+        assert t_quantile_975(10) == pytest.approx(2.228)
+        assert t_quantile_975(100) == pytest.approx(1.96)
+
+    def test_decreasing_in_dof(self):
+        values = [t_quantile_975(d) for d in range(1, 40)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_quantile_975(0)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.stddev == pytest.approx(1.0)
+        assert s.ci95 == pytest.approx(4.303 / math.sqrt(3))
+
+    def test_single_value_infinite_ci(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert math.isinf(s.ci95)
+
+    def test_constant_sample_zero_ci(self):
+        s = summarize([4.0] * 10)
+        assert s.stddev == 0.0
+        assert s.ci95 == 0.0
+        assert s.low == s.high == 4.0
+
+    def test_overlaps(self):
+        a = summarize([1.0, 1.1, 0.9])
+        b = summarize([1.05, 1.15, 0.95])
+        c = summarize([10.0, 10.1, 9.9])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    def test_mean_within_interval(self, values):
+        s = summarize(values)
+        assert s.low <= s.mean <= s.high
+        assert min(values) - 1e-9 <= s.mean <= max(values) + 1e-9
+
+
+class TestReplicate:
+    def test_runs_each_seed(self):
+        calls = []
+
+        def run(seed):
+            calls.append(seed)
+            return float(seed)
+
+        s = replicate(run, seeds=[1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert s.mean == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 0.0, seeds=[])
+
+    def test_end_to_end_with_simulation(self):
+        """Replicating a small scenario yields a tight interval."""
+        from repro.cc import establish, new_tcp_flow
+        from repro.net import Dumbbell
+        from repro.sim import RngRegistry, Simulator
+
+        def run(seed):
+            sim = Simulator()
+            net = Dumbbell(sim, bandwidth_bps=1e6, rtt_s=0.05, rng=RngRegistry(seed))
+            sender, sink = new_tcp_flow(sim)
+            flow = establish(net, sender, sink)
+            sender.start()
+            sim.run(until=40.0)
+            return net.accountant.throughput_bps(flow, 10.0, 40.0)
+
+        s = replicate(run, seeds=[1, 2, 3])
+        assert 0.6e6 < s.mean < 1.0e6
+        assert s.stddev < 0.4 * s.mean

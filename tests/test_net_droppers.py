@@ -1,0 +1,139 @@
+"""Unit tests for the crafted loss-pattern droppers."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    BernoulliDropper,
+    CountBasedDropper,
+    Packet,
+    PeriodicDropper,
+    PhaseDropper,
+    mild_bursty_pattern,
+    severe_bursty_phases,
+)
+from repro.net.packet import ACK, DATA
+
+
+def data_packet(seq=0):
+    return Packet(flow_id=0, kind=DATA, seq=seq, size=1000, src=0, dst=1)
+
+
+def ack_packet(seq=0):
+    return Packet(flow_id=0, kind=ACK, seq=seq, size=40, src=1, dst=0)
+
+
+def run_through(dropper, packets):
+    delivered = []
+    dropper.connect(delivered.append)
+    for p in packets:
+        dropper.receive(p)
+    return delivered
+
+
+class TestCountBasedDropper:
+    def test_drops_one_after_each_gap(self):
+        dropper = CountBasedDropper([3])
+        delivered = run_through(dropper, [data_packet(i) for i in range(8)])
+        # Arrivals 1,2,3 pass; 4th dropped; 5,6,7 pass; 8th dropped.
+        assert [p.seq for p in delivered] == [0, 1, 2, 4, 5, 6]
+        assert dropper.drops == 2
+
+    def test_cycles_through_gaps(self):
+        dropper = CountBasedDropper([2, 5])
+        n = 2 + 1 + 5 + 1 + 2 + 1  # two full gaps then a third drop
+        delivered = run_through(dropper, [data_packet(i) for i in range(n)])
+        assert dropper.drops == 3
+        assert len(delivered) == n - 3
+
+    def test_acks_pass_untouched(self):
+        dropper = CountBasedDropper([1])
+        delivered = run_through(dropper, [ack_packet(i) for i in range(10)])
+        assert len(delivered) == 10
+        assert dropper.drops == 0
+
+    def test_unconnected_raises(self):
+        with pytest.raises(RuntimeError):
+            CountBasedDropper([1]).receive(data_packet())
+
+    def test_invalid_gaps_rejected(self):
+        with pytest.raises(ValueError):
+            CountBasedDropper([])
+        with pytest.raises(ValueError):
+            CountBasedDropper([0])
+
+    def test_mild_bursty_pattern_shape(self):
+        assert mild_bursty_pattern() == [50, 50, 50, 400, 400, 400]
+
+    def test_mild_bursty_loss_rate(self):
+        dropper = CountBasedDropper(mild_bursty_pattern())
+        cycle = sum(mild_bursty_pattern()) + 6
+        run_through(dropper, [data_packet(i) for i in range(cycle * 3)])
+        assert dropper.drops == 18  # 6 drops per cycle
+
+
+class TestPeriodicDropper:
+    def test_steady_loss_rate(self):
+        dropper = PeriodicDropper(10)
+        run_through(dropper, [data_packet(i) for i in range(1000)])
+        assert dropper.drops == 100
+
+    def test_minimum_period(self):
+        with pytest.raises(ValueError):
+            PeriodicDropper(1)
+
+
+class TestPhaseDropper:
+    def test_phase_switching_by_clock(self):
+        clock = {"t": 0.0}
+        dropper = PhaseDropper([(1.0, 2), (1.0, 1000)], clock=lambda: clock["t"])
+        delivered = []
+        dropper.connect(delivered.append)
+        # Phase 0: every 2nd packet dropped.
+        for i in range(10):
+            dropper.receive(data_packet(i))
+        drops_phase0 = dropper.drops
+        clock["t"] = 1.5  # phase 1: effectively lossless
+        for i in range(10):
+            dropper.receive(data_packet(10 + i))
+        assert drops_phase0 == 5
+        assert dropper.drops == drops_phase0
+
+    def test_cycle_wraps(self):
+        clock = {"t": 0.0}
+        dropper = PhaseDropper([(1.0, 2), (1.0, 1000)], clock=lambda: clock["t"])
+        dropper.connect(lambda p: None)
+        clock["t"] = 2.5  # wraps into phase 0 again
+        for i in range(10):
+            dropper.receive(data_packet(i))
+        assert dropper.drops == 5
+
+    def test_severe_bursty_phases_shape(self):
+        phases = severe_bursty_phases()
+        assert phases == [(6.0, 200), (1.0, 4)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseDropper([], clock=lambda: 0.0)
+        with pytest.raises(ValueError):
+            PhaseDropper([(0.0, 2)], clock=lambda: 0.0)
+
+
+class TestBernoulliDropper:
+    def test_zero_probability_never_drops(self):
+        dropper = BernoulliDropper(0.0)
+        run_through(dropper, [data_packet(i) for i in range(100)])
+        assert dropper.drops == 0
+
+    def test_drop_rate_close_to_p(self):
+        dropper = BernoulliDropper(0.3, rng=random.Random(7))
+        n = 20000
+        run_through(dropper, [data_packet(i) for i in range(n)])
+        assert dropper.drops / n == pytest.approx(0.3, abs=0.02)
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliDropper(1.0)
+        with pytest.raises(ValueError):
+            BernoulliDropper(-0.1)

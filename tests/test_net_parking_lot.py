@@ -1,0 +1,146 @@
+"""Tests for PeriodicTask, queue sampling and the parking-lot topology."""
+
+import pytest
+
+from repro.cc import establish, new_tcp_flow
+from repro.net import Dumbbell
+from repro.net.parking_lot import ParkingLot
+from repro.sim import PeriodicTask, Simulator
+
+
+class TestPeriodicTask:
+    def test_ticks_at_interval(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=5.5)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert task.ticks == 5
+
+    def test_stop_halts_ticking(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        task.start()
+        sim.at(2.5, task.stop)
+        sim.run(until=10.0)
+        assert task.ticks == 2
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 1.0, lambda: task.stop())
+        task.start()
+        sim.run(until=10.0)
+        assert task.ticks == 1
+
+    def test_jitter_breaks_lockstep(self):
+        import random
+
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(
+            sim, 1.0, lambda: times.append(sim.now), jitter=0.5,
+            rng=random.Random(3),
+        )
+        task.start()
+        sim.run(until=20.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(1.0 <= g < 1.5 for g in gaps)
+        assert len(set(round(g, 6) for g in gaps)) > 1
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        task.start()
+        task.start()
+        sim.run(until=3.5)
+        assert task.ticks == 3
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 1.0, lambda: None, jitter=-1.0)
+
+
+class TestQueueSampling:
+    def test_standing_queue_visible(self):
+        sim = Simulator()
+        net = Dumbbell(sim, bandwidth_bps=1e6, rtt_s=0.05)
+        series = net.monitor.sample_queue(0.1)
+        sender, sink = new_tcp_flow(sim)
+        establish(net, sender, sink)
+        sender.start()
+        sim.run(until=20.0)
+        assert len(series) > 100
+        # A long-lived TCP keeps a standing queue at the RED bottleneck.
+        tail = series.window(10.0, 20.0)
+        assert tail.mean() > 0.5
+
+    def test_requires_attachment(self):
+        from repro.net import LinkMonitor
+
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            LinkMonitor(sim).sample_queue(0.1)
+
+
+class TestParkingLot:
+    def build(self, hops=3, bandwidth=1e6):
+        sim = Simulator()
+        lot = ParkingLot(sim, hops=hops, bandwidth_bps=bandwidth, rtt_s=0.05)
+        return sim, lot
+
+    def test_long_path_delivers_end_to_end(self):
+        sim, lot = self.build()
+        sender, sink = new_tcp_flow(sim, max_packets=50)
+        flow = establish(lot, sender, sink, pair=lot.long_path_pair())
+        done = []
+        sender.on_complete = lambda s: done.append(sim.now)
+        sender.start()
+        sim.run(until=30.0)
+        assert done
+        assert lot.accountant.delivered_bytes(flow, 0.0, 30.0) == 50 * 1000
+
+    def test_cross_pair_uses_only_its_hop(self):
+        sim, lot = self.build()
+        sender, sink = new_tcp_flow(sim, max_packets=20)
+        establish(lot, sender, sink, pair=lot.cross_pair(1))
+        sender.start()
+        sim.run(until=10.0)
+        assert lot.monitors[1].arrivals_in(0.0, 10.0) >= 20
+        assert lot.monitors[0].arrivals_in(0.0, 10.0) == 0
+        assert lot.monitors[2].arrivals_in(0.0, 10.0) == 0
+
+    def test_long_flow_gets_less_than_cross_flows(self):
+        """The classic parking-lot result the paper's intro references: a
+        flow crossing every congested hop receives less than single-hop
+        flows, even with everyone running the same TCP."""
+        sim, lot = self.build(hops=3, bandwidth=1e6)
+        long_sender, long_sink = new_tcp_flow(sim)
+        long_flow = establish(lot, long_sender, long_sink, pair=lot.long_path_pair())
+        long_sender.start_at(0.0)
+        cross_flows = []
+        for hop in range(3):
+            sender, sink = new_tcp_flow(sim)
+            flow = establish(lot, sender, sink, pair=lot.cross_pair(hop))
+            sender.start_at(0.05 * (hop + 1))
+            cross_flows.append(flow)
+        sim.run(until=60.0)
+        long_bps = lot.accountant.throughput_bps(long_flow, 20.0, 60.0)
+        cross_bps = [
+            lot.accountant.throughput_bps(f, 20.0, 60.0) for f in cross_flows
+        ]
+        assert long_bps > 0
+        assert all(long_bps < c for c in cross_bps)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ParkingLot(sim, hops=0, bandwidth_bps=1e6, rtt_s=0.05)
+        _, lot = self.build()
+        with pytest.raises(ValueError):
+            lot.cross_pair(5)
+        with pytest.raises(ValueError):
+            lot.span_pair(2, 2)

@@ -1,0 +1,176 @@
+"""Unit tests for DropTail and RED queue disciplines."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import DropTailQueue, Packet, REDQueue, red_for_bdp
+from repro.net.packet import DATA
+
+
+def make_packet(seq=0, size=1000):
+    return Packet(flow_id=0, kind=DATA, seq=seq, size=size, src=0, dst=1)
+
+
+class RecordingObserver:
+    def __init__(self):
+        self.arrivals = 0
+        self.drops = 0
+
+    def on_arrival(self, packet):
+        self.arrivals += 1
+
+    def on_drop(self, packet):
+        self.drops += 1
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(10)
+        first, second = make_packet(1), make_packet(2)
+        q.enqueue(first)
+        q.enqueue(second)
+        assert q.dequeue() is first
+        assert q.dequeue() is second
+        assert q.dequeue() is None
+
+    def test_drops_when_full(self):
+        q = DropTailQueue(2)
+        assert q.enqueue(make_packet())
+        assert q.enqueue(make_packet())
+        assert not q.enqueue(make_packet())
+        assert len(q) == 2
+
+    def test_byte_accounting(self):
+        q = DropTailQueue(10)
+        q.enqueue(make_packet(size=100))
+        q.enqueue(make_packet(size=200))
+        assert q.byte_length == 300
+        q.dequeue()
+        assert q.byte_length == 200
+
+    def test_observer_sees_arrivals_and_drops(self):
+        q = DropTailQueue(1)
+        obs = RecordingObserver()
+        q.observer = obs
+        q.enqueue(make_packet())
+        q.enqueue(make_packet())
+        assert obs.arrivals == 2
+        assert obs.drops == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    @given(st.lists(st.booleans(), max_size=60))
+    def test_occupancy_never_exceeds_capacity(self, ops):
+        q = DropTailQueue(5)
+        for is_enqueue in ops:
+            if is_enqueue:
+                q.enqueue(make_packet())
+            else:
+                q.dequeue()
+            assert 0 <= len(q) <= 5
+
+
+class TestRED:
+    def make_red(self, **kwargs):
+        defaults = dict(
+            capacity_pkts=50,
+            min_thresh=5,
+            max_thresh=15,
+            rng=random.Random(1),
+        )
+        defaults.update(kwargs)
+        return REDQueue(**defaults)
+
+    def test_no_drops_below_min_thresh(self):
+        q = self.make_red()
+        for _ in range(5):
+            assert q.enqueue(make_packet())
+
+    def test_always_drops_at_physical_capacity(self):
+        q = self.make_red(capacity_pkts=8, min_thresh=2, max_thresh=6)
+        for _ in range(30):
+            q.enqueue(make_packet())
+        assert len(q) <= 8
+
+    def test_sustained_overload_triggers_early_drops(self):
+        q = self.make_red()
+        dropped = 0
+        # Fill without draining: the average climbs past min_thresh.
+        for _ in range(200):
+            if not q.enqueue(make_packet()):
+                dropped += 1
+        assert dropped > 0
+        assert len(q) < 200
+
+    def test_average_tracks_queue_growth(self):
+        q = self.make_red(weight=0.5)
+        for _ in range(10):
+            q.enqueue(make_packet())
+        assert q.avg > 0
+
+    def test_gentle_region_drops_more_than_max_p(self):
+        q = self.make_red(gentle=True, weight=1.0)
+        # With weight=1 the average equals the instantaneous queue.
+        for _ in range(50):
+            q.enqueue(make_packet())
+        # Average deep in the gentle region: drop probability near 1.
+        admitted = sum(q.enqueue(make_packet()) for _ in range(20))
+        assert admitted <= 5
+
+    def test_drop_probability_profile(self):
+        q = self.make_red(max_p=0.1)
+        q.avg = 4.9
+        assert q._drop_probability() == 0.0
+        q.avg = 10.0
+        assert 0 < q._drop_probability() < 0.1
+        q.avg = 15.0
+        assert q._drop_probability() == pytest.approx(0.1)
+        q.avg = 22.5
+        assert 0.1 < q._drop_probability() < 1.0
+        q.avg = 30.0
+        assert q._drop_probability() == 1.0
+
+    def test_non_gentle_drops_everything_above_max_thresh(self):
+        q = self.make_red(gentle=False)
+        q.avg = 16.0
+        assert q._drop_probability() == 1.0
+
+    def test_idle_period_decays_average(self):
+        clock = {"t": 0.0}
+        q = self.make_red(weight=0.25)
+        q.bind_clock(lambda: clock["t"])
+        for _ in range(10):
+            q.enqueue(make_packet())
+        while q.dequeue() is not None:
+            pass
+        avg_before = q.avg
+        clock["t"] = 10.0  # long idle: many packet-times pass
+        q.enqueue(make_packet())
+        assert q.avg < avg_before
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            self.make_red(min_thresh=10, max_thresh=5)
+        with pytest.raises(ValueError):
+            self.make_red(max_p=0.0)
+        with pytest.raises(ValueError):
+            self.make_red(weight=2.0)
+
+
+class TestRedForBdp:
+    def test_paper_proportions(self):
+        # 10 Mbps, 50 ms RTT, 1000-byte packets: BDP = 62.5 packets.
+        q = red_for_bdp(10e6, 0.050)
+        assert q.capacity_pkts == pytest.approx(2.5 * 62.5, rel=0.02)
+        assert q.min_thresh == pytest.approx(0.25 * 62.5, rel=0.02)
+        assert q.max_thresh == pytest.approx(1.25 * 62.5, rel=0.02)
+
+    def test_tiny_links_get_floored_thresholds(self):
+        q = red_for_bdp(64e3, 0.050, packet_size=1000)
+        assert q.capacity_pkts >= 4
+        assert q.max_thresh > q.min_thresh >= 1.0

@@ -1,0 +1,125 @@
+"""Unit tests for RNG streams and time-series tracing."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Counter, RngRegistry, TimeSeries, interval_average
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        reg = RngRegistry(42)
+        assert reg.stream("red") is reg.stream("red")
+
+    def test_reproducible_across_registries(self):
+        a = RngRegistry(42).stream("red")
+        b = RngRegistry(42).stream("red")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(42)
+        xs = [reg.stream("a").random() for _ in range(5)]
+        ys = [reg.stream("b").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_different_seeds_differ(self):
+        xs = [RngRegistry(1).stream("x").random() for _ in range(5)]
+        ys = [RngRegistry(2).stream("x").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_spawn_changes_seed_deterministically(self):
+        a = RngRegistry(7).spawn(3)
+        b = RngRegistry(7).spawn(3)
+        assert a.master_seed == b.master_seed != 7
+
+
+class TestTimeSeries:
+    def test_append_and_iterate(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(ts) == 2
+
+    def test_out_of_order_append_rejected(self):
+        ts = TimeSeries()
+        ts.append(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(1.0, 1.0)
+
+    def test_equal_time_appends_allowed(self):
+        ts = TimeSeries()
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_window_half_open(self):
+        ts = TimeSeries()
+        for t in range(5):
+            ts.append(float(t), float(t))
+        win = ts.window(1.0, 3.0)
+        assert list(win.times) == [1.0, 2.0]
+
+    def test_mean_and_max(self):
+        ts = TimeSeries()
+        for v in (1.0, 2.0, 6.0):
+            ts.append(v, v)
+        assert ts.mean() == 3.0
+        assert ts.max() == 6.0
+
+    def test_mean_of_empty_is_nan(self):
+        assert math.isnan(TimeSeries().mean())
+
+    def test_last_before(self):
+        ts = TimeSeries()
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        assert ts.last_before(0.5) is None
+        assert ts.last_before(1.0) == 10.0
+        assert ts.last_before(1.5) == 10.0
+        assert ts.last_before(10.0) == 20.0
+
+    def test_resample_sample_and_hold(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 5.0)
+        out = ts.resample(0.5, 0.0, 2.0)
+        assert list(out) == [(0.0, 1.0), (0.5, 1.0), (1.0, 5.0), (1.5, 5.0)]
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=50))
+    def test_window_never_widens(self, raw_times):
+        times = sorted(raw_times)
+        ts = TimeSeries()
+        for t in times:
+            ts.append(t, t)
+        win = ts.window(10.0, 60.0)
+        assert all(10.0 <= t < 60.0 for t in win.times)
+        assert len(win) == sum(1 for t in times if 10.0 <= t < 60.0)
+
+
+class TestIntervalAverage:
+    def test_basic_average(self):
+        samples = [(0.0, 2.0), (1.0, 4.0), (2.0, 100.0)]
+        assert interval_average(samples, 0.0, 2.0) == 3.0
+
+    def test_empty_interval_is_nan(self):
+        assert math.isnan(interval_average([], 0.0, 1.0))
+
+
+class TestCounter:
+    def test_count_in_window(self):
+        c = Counter()
+        c.increment(1.0)
+        c.increment(2.0)
+        c.increment(3.0)
+        assert c.count == 3
+        assert c.count_in(0.0, 1.5) == 1
+        assert c.count_in(1.5, 3.0) == 2
+
+    def test_amount_parameter(self):
+        c = Counter()
+        c.increment(1.0, amount=5)
+        assert c.count_in(0.0, 2.0) == 5
