@@ -7,7 +7,11 @@ are different projections of the same sweep, so those sweeps are cached in
 a session-scoped store and only run once.
 
 Set ``REPRO_SCALE=paper`` in the environment to run the paper-scale
-configurations instead (slow: tens of minutes).
+configurations instead (slow: tens of minutes).  ``REPRO_PARALLEL=N``
+fans the declarative job sweeps out over N worker processes, and
+``REPRO_CACHE_DIR=/path`` reuses the on-disk result cache across
+benchmark sessions (by default an in-memory cache shares work only
+within one session, e.g. between Figures 7-9's identical sweeps).
 """
 
 from __future__ import annotations
@@ -29,6 +33,27 @@ def scale() -> str:
 def sweep_cache() -> dict:
     """Cross-benchmark cache for shared parameter sweeps."""
     return {}
+
+
+@pytest.fixture(scope="session")
+def executor():
+    """Job executor: serial unless ``REPRO_PARALLEL=N`` asks for a pool."""
+    from repro.experiments.executor import make_executor
+
+    return make_executor(int(os.environ.get("REPRO_PARALLEL", "0") or 0))
+
+
+@pytest.fixture(scope="session")
+def result_cache():
+    """Content-addressed job-result cache shared across the session.
+
+    In-memory by default; point ``REPRO_CACHE_DIR`` at a directory to
+    persist results across benchmark runs.
+    """
+    from repro.experiments.cache import ResultCache
+
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    return ResultCache(pathlib.Path(cache_dir)) if cache_dir else ResultCache()
 
 
 @pytest.fixture(scope="session")

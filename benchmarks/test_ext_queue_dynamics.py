@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import ext_queue_dynamics
 
 
-def test_ext_queue_dynamics(benchmark, scale, report):
-    table = run_once(benchmark, lambda: ext_queue_dynamics.run(scale))
+def test_ext_queue_dynamics(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: ext_queue_dynamics.run(scale, executor=executor, cache=result_cache))
     report("ext_queue_dynamics", table)
 
     rows = {

@@ -7,8 +7,8 @@ from conftest import run_once
 from repro.experiments import ext_responsiveness
 
 
-def test_ext_responsiveness(benchmark, scale, report):
-    table = run_once(benchmark, lambda: ext_responsiveness.run(scale))
+def test_ext_responsiveness(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: ext_responsiveness.run(scale, executor=executor, cache=result_cache))
     report("ext_responsiveness", table)
 
     measured = dict(zip(table.column("protocol"), table.column("measured_rtts")))

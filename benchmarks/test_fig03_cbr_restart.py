@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import fig03_cbr_restart
 
 
-def test_fig03_cbr_restart(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig03_cbr_restart.run(scale))
+def test_fig03_cbr_restart(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig03_cbr_restart.run(scale, executor=executor, cache=result_cache))
     report("fig03_cbr_restart", table)
 
     protocols = set(table.column("protocol"))

@@ -10,8 +10,8 @@ def crowd_peak(table, background: str) -> float:
     return max(crowd for (_, _, _, crowd) in rows)
 
 
-def test_fig06_flash_crowd(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig06_flash_crowd.run(scale))
+def test_fig06_flash_crowd(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig06_flash_crowd.run(scale, executor=executor, cache=result_cache))
     report("fig06_flash_crowd", table)
 
     backgrounds = set(table.column("background"))

@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import fig07_tcp_vs_tfrc
 
 
-def test_fig07_tcp_vs_tfrc(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig07_tcp_vs_tfrc.run(scale))
+def test_fig07_tcp_vs_tfrc(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig07_tcp_vs_tfrc.run(scale, executor=executor, cache=result_cache))
     report("fig07_tcp_vs_tfrc", table)
 
     tcp_means = table.column("tcp_mean_share")

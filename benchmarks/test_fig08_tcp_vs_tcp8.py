@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import fig08_tcp_vs_tcp8
 
 
-def test_fig08_tcp_vs_tcp8(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig08_tcp_vs_tcp8.run(scale))
+def test_fig08_tcp_vs_tcp8(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig08_tcp_vs_tcp8.run(scale, executor=executor, cache=result_cache))
     report("fig08_tcp_vs_tcp8", table)
 
     tcp_means = table.column("tcp_mean_share")

@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import fig10_convergence_tcp
 
 
-def test_fig10_convergence_tcp(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig10_convergence_tcp.run(scale))
+def test_fig10_convergence_tcp(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig10_convergence_tcp.run(scale, executor=executor, cache=result_cache))
     report("fig10_convergence_tcp", table)
 
     bs = table.column("b")

@@ -8,8 +8,8 @@ from repro.analysis import acks_to_fairness
 from repro.experiments import fig11_convergence_analysis
 
 
-def test_fig11_convergence_analysis(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig11_convergence_analysis.run(scale))
+def test_fig11_convergence_analysis(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig11_convergence_analysis.run(scale, executor=executor, cache=result_cache))
     report("fig11_convergence_analysis", table)
 
     bs = table.column("b")

@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import fig12_convergence_tfrc
 
 
-def test_fig12_convergence_tfrc(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig12_convergence_tfrc.run(scale))
+def test_fig12_convergence_tfrc(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig12_convergence_tfrc.run(scale, executor=executor, cache=result_cache))
     report("fig12_convergence_tfrc", table)
 
     ks = table.column("k")

@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import fig13_fk_utilization
 
 
-def test_fig13_fk_utilization(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig13_fk_utilization.run(scale))
+def test_fig13_fk_utilization(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig13_fk_utilization.run(scale, executor=executor, cache=result_cache))
     report("fig13_fk_utilization", table)
 
     def f20(family, b):

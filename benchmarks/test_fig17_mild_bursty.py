@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import fig17_mild_bursty
 
 
-def test_fig17_mild_bursty(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig17_mild_bursty.run(scale))
+def test_fig17_mild_bursty(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig17_mild_bursty.run(scale, executor=executor, cache=result_cache))
     report("fig17_mild_bursty", table)
 
     rows = {name: (thpt, cov, ratio) for name, thpt, cov, ratio, _, _ in table.rows}

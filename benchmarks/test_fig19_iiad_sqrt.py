@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import fig19_iiad_sqrt
 
 
-def test_fig19_iiad_sqrt(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig19_iiad_sqrt.run(scale))
+def test_fig19_iiad_sqrt(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig19_iiad_sqrt.run(scale, executor=executor, cache=result_cache))
     report("fig19_iiad_sqrt", table)
 
     rows = {

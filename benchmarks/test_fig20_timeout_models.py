@@ -7,8 +7,8 @@ from conftest import run_once
 from repro.experiments import fig20_timeout_models
 
 
-def test_fig20_timeout_models(benchmark, scale, report):
-    table = run_once(benchmark, lambda: fig20_timeout_models.run(scale))
+def test_fig20_timeout_models(benchmark, scale, report, executor, result_cache):
+    table = run_once(benchmark, lambda: fig20_timeout_models.run(scale, executor=executor, cache=result_cache))
     report("fig20_timeout_models", table)
 
     for p, pure, with_to, reno in table.rows:

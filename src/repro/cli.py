@@ -7,6 +7,16 @@ Usage::
     python -m repro run fig05 --scale paper   # the paper's parameters
     python -m repro run all --out results/    # everything, persisted
     python -m repro run fig04 --chart         # ASCII rendering of the shape
+    python -m repro run all --parallel 4      # fan jobs out over 4 processes
+    python -m repro run all --no-cache        # force fresh simulations
+    python -m repro run all --cache-dir /tmp/repro-cache
+
+Results are cached on disk (``~/.cache/repro`` by default, see
+``--cache-dir``) keyed by the content hash of each job plus a
+code-version salt, so a warm second run replays from the cache without
+simulating anything.  Parallel runs produce byte-identical tables to
+serial runs: every job carries its own seed and results are re-ordered
+by job index before reduction.
 """
 
 from __future__ import annotations
@@ -18,6 +28,8 @@ import time
 from typing import Optional, Sequence
 
 from repro.experiments import ALL_FIGURES, EXTENSIONS
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.executor import make_executor
 from repro.experiments.runner import Table
 from repro.viz import line_chart
 
@@ -84,6 +96,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_parser.add_argument(
         "--chart", action="store_true", help="also render an ASCII chart"
     )
+    run_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run jobs across N worker processes (default: serial)",
+    )
+    run_parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached job results (default: on; --no-cache disables)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
     args = parser.parse_args(argv)
 
     runnable = {**ALL_FIGURES, **EXTENSIONS}
@@ -101,12 +132,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"available: {', '.join(runnable)}", file=sys.stderr)
         return 2
 
+    executor = make_executor(args.parallel)
+    cache = (
+        ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
+        if args.cache
+        else None
+    )
+
+    total_jobs = total_computed = total_hits = total_dedup = 0
     for name in names:
         started = time.time()
-        table = runnable[name].run(args.scale)
+        module = runnable[name]
+        results = executor.map(module.jobs(args.scale), cache)
+        table = module.reduce(results)
         elapsed = time.time() - started
+        report = executor.last_report
+        total_jobs += report.jobs
+        total_computed += report.computed
+        total_hits += report.cache_hits
+        total_dedup += report.deduplicated
         print(table.format())
-        print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
+        print(
+            f"[{name} completed in {elapsed:.1f}s at scale={args.scale}: "
+            f"{report.jobs} jobs, {report.computed} computed, "
+            f"{report.cache_hits} cache hits, {report.deduplicated} deduplicated]"
+        )
         if args.chart:
             chart = _figure_chart(name, table)
             if chart:
@@ -116,4 +166,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(table.format() + "\n")
         print()
+    if len(names) > 1:
+        where = "off" if cache is None else str(cache.root or "memory")
+        print(
+            f"[total: {total_jobs} jobs, {total_computed} computed, "
+            f"{total_hits} cache hits, {total_dedup} deduplicated; "
+            f"cache={where}, workers={executor.workers}]"
+        )
     return 0

@@ -3,6 +3,12 @@
 ``repro.experiments.figXX_*.run(scale)`` regenerates the data behind paper
 figure XX as a :class:`~repro.experiments.runner.Table`; ``scale="fast"``
 uses the CI-sized configuration, ``scale="paper"`` the paper's parameters.
+
+Every figure module also exposes the declarative pipeline underneath:
+``jobs(scale) -> list[Job]`` describes the simulation points and
+``reduce(results) -> Table`` formats them, so work can be executed
+serially, across a process pool (:class:`ParallelExecutor`) and/or
+against the content-addressed :class:`ResultCache`.
 """
 
 from repro.experiments import (
@@ -27,7 +33,29 @@ from repro.experiments import (
     fig19_iiad_sqrt,
     fig20_timeout_models,
 )
-from repro.experiments.protocols import Protocol, iiad, rap, sqrt, tcp, tcp_b, tear, tfrc
+from repro.experiments.cache import CacheStats, ResultCache, default_cache_dir
+from repro.experiments.executor import (
+    ExecutionReport,
+    Executor,
+    JobResult,
+    ParallelExecutor,
+    SerialExecutor,
+    execute,
+    make_executor,
+)
+from repro.experiments.jobs import DropperSpec, Job, execute_job, job
+from repro.experiments.protocols import (
+    Protocol,
+    ProtocolSpec,
+    iiad,
+    rap,
+    spec_of,
+    sqrt,
+    tcp,
+    tcp_b,
+    tear,
+    tfrc,
+)
 from repro.experiments.runner import Table, pick_config
 from repro.experiments.scenarios import (
     CbrRestartConfig,
@@ -78,22 +106,38 @@ ALL_FIGURES = {
 __all__ = [
     "ALL_FIGURES",
     "EXTENSIONS",
+    "CacheStats",
     "CbrRestartConfig",
     "CbrRestartResult",
     "ConvergenceConfig",
     "DoublingConfig",
     "DoublingResult",
+    "DropperSpec",
+    "ExecutionReport",
+    "Executor",
     "FlashCrowdConfig",
     "FlashCrowdResult",
+    "Job",
+    "JobResult",
     "LossPatternConfig",
     "LossPatternResult",
     "OscillationConfig",
     "OscillationResult",
+    "ParallelExecutor",
     "Protocol",
+    "ProtocolSpec",
+    "ResultCache",
+    "SerialExecutor",
     "Table",
+    "default_cache_dir",
+    "execute",
+    "execute_job",
     "iiad",
+    "job",
+    "make_executor",
     "pick_config",
     "rap",
+    "spec_of",
     "run_cbr_restart",
     "run_convergence",
     "run_doubling",

@@ -1,0 +1,195 @@
+"""Content-addressed on-disk cache for experiment job results.
+
+Every :class:`~repro.experiments.jobs.Job` has a stable content hash over
+its full declarative description.  The cache keys JSON result blobs by
+``sha256(job_hash : salt)`` where the salt folds in the library version
+and the job-schema version, so a code upgrade (or an explicit salt
+override) invalidates every stale entry without deleting anything.
+
+With a warm cache, re-running ``python -m repro run all`` performs zero
+simulations: every job is answered from disk and only the (cheap) reduce
+stage runs.  Hit/miss/store accounting is kept on :attr:`ResultCache.stats`
+and surfaced by the CLI.
+
+The cache also runs in memory-only mode (``root=None``) — used by the
+benchmark harness to share sweeps between figures within one session.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from repro import __version__
+from repro.experiments.jobs import JOBS_SCHEMA_VERSION, Job
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir", "default_salt"]
+
+#: Sentinel distinguishing "no entry" from a cached ``None`` payload.
+MISS = object()
+
+
+def default_salt() -> str:
+    """Code-version salt: changes whenever results may change meaning."""
+    return f"repro-{__version__}-schema{JOBS_SCHEMA_VERSION}"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.stores - earlier.stores,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+
+
+class ResultCache:
+    """Content-addressed store of JSON job payloads.
+
+    ``root=None`` keeps everything in memory (no files touched); a path
+    persists blobs under ``root/ab/abcdef....json`` with atomic writes so
+    concurrent runs never observe torn entries.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike, None] = None,
+        salt: Optional[str] = None,
+    ):
+        self.root = pathlib.Path(root) if root is not None else None
+        self.salt = salt if salt is not None else default_salt()
+        self.stats = CacheStats()
+        self._memory: dict[str, str] = {}
+
+    # -- keys ---------------------------------------------------------------
+
+    def key(self, jb: Job) -> str:
+        """Cache key: job content hash + code-version salt."""
+        return hashlib.sha256(
+            f"{jb.content_hash}:{self.salt}".encode("utf-8")
+        ).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        assert self.root is not None
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup / store -----------------------------------------------------
+
+    def lookup(self, jb: Job) -> Any:
+        """The cached payload for ``jb``, or :data:`MISS`.
+
+        Corrupt or unreadable blobs count as misses (and are recomputed);
+        the cache never raises on bad disk state.
+        """
+        key = self.key(jb)
+        text: Optional[str] = None
+        if self.root is None:
+            text = self._memory.get(key)
+        else:
+            try:
+                text = self._path(key).read_text()
+            except OSError:
+                text = None
+        if text is not None:
+            try:
+                record = json.loads(text)
+                value = record["value"]
+            except (ValueError, KeyError, TypeError):
+                value = MISS
+            if value is not MISS:
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return MISS
+
+    def store(self, jb: Job, value: Any) -> Any:
+        """Persist ``value`` for ``jb``; returns the JSON round-trip of it.
+
+        Returning the round-tripped value guarantees cold runs see exactly
+        what warm runs will read back, keeping output byte-identical
+        whether or not the cache was already populated.
+        """
+        record = {
+            "salt": self.salt,
+            "job": jb.describe(),
+            "value": value,
+        }
+        text = json.dumps(record, allow_nan=True)
+        key = self.key(jb)
+        if self.root is None:
+            self._memory[key] = text
+        else:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self.stats.stores += 1
+        return json.loads(text)["value"]
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        if self.root is None:
+            count = len(self._memory)
+            self._memory.clear()
+            return count
+        count = 0
+        if self.root.exists():
+            for blob in self.root.glob("*/*.json"):
+                try:
+                    blob.unlink()
+                    count += 1
+                except OSError:
+                    pass
+        return count
+
+    def __len__(self) -> int:
+        if self.root is None:
+            return len(self._memory)
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.root) if self.root is not None else "memory"
+        return f"<ResultCache {where} [{self.stats}]>"

@@ -1,0 +1,152 @@
+"""Deterministic job executors: serial, and process-pool parallel.
+
+Executors take a list of :class:`~repro.experiments.jobs.Job` and return
+:class:`JobResult` objects **in job order**, regardless of completion
+order, so a parallel run's tables are byte-identical to a serial run's.
+
+The execution pipeline, shared by all executors:
+
+1. answer what it can from the (optional) content-addressed cache;
+2. deduplicate the remaining jobs by content hash (two figures asking for
+   the same simulation point compute it once);
+3. run the unique misses — serially or across worker processes;
+4. store fresh results back into the cache and fan them out to every
+   position that asked for them.
+
+Because every job is a pure, seeded description, workers need no shared
+state: determinism is preserved by construction, and results are keyed by
+submission position rather than completion time.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.experiments.cache import MISS, ResultCache
+from repro.experiments.jobs import Job, execute_job
+
+__all__ = [
+    "Executor",
+    "JobResult",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "execute",
+    "make_executor",
+]
+
+
+@dataclass
+class JobResult:
+    """One job's outcome: the job, its JSON-native payload, provenance."""
+
+    job: Job
+    value: Any
+    cached: bool = False
+
+
+@dataclass
+class ExecutionReport:
+    """Accounting for one ``map`` call (surfaced by the CLI)."""
+
+    jobs: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+
+class Executor:
+    """Base executor: caching, dedup and ordering; subclasses run batches."""
+
+    workers: int = 1
+
+    def map(
+        self, jobs: Sequence[Job], cache: Optional[ResultCache] = None
+    ) -> list[JobResult]:
+        """Execute ``jobs``; results come back in submission order."""
+        jobs = list(jobs)
+        self.last_report = ExecutionReport(jobs=len(jobs))
+        values: list[Any] = [MISS] * len(jobs)
+        cached = [False] * len(jobs)
+
+        # Stage 1: cache lookups, in submission order.
+        pending: dict[str, list[int]] = {}
+        for i, jb in enumerate(jobs):
+            if cache is not None:
+                hit = cache.lookup(jb)
+                if hit is not MISS:
+                    values[i] = hit
+                    cached[i] = True
+                    self.last_report.cache_hits += 1
+                    continue
+            pending.setdefault(jb.content_hash, []).append(i)
+
+        # Stage 2: dedup identical misses, run each unique job once.
+        unique = [(digest, jobs[where[0]]) for digest, where in pending.items()]
+        self.last_report.deduplicated = sum(
+            len(where) - 1 for where in pending.values()
+        )
+        self.last_report.computed = len(unique)
+        computed = self._run_batch([jb for _, jb in unique])
+
+        # Stage 3: store and fan out, preserving submission order.
+        for (digest, jb), value in zip(unique, computed):
+            if cache is not None:
+                value = cache.store(jb, value)
+            for i in pending[digest]:
+                values[i] = value
+        return [
+            JobResult(job=jb, value=value, cached=was_cached)
+            for jb, value, was_cached in zip(jobs, values, cached)
+        ]
+
+    def _run_batch(self, jobs: Sequence[Job]) -> list[Any]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run jobs one after another in this process (the default)."""
+
+    workers = 1
+
+    def _run_batch(self, jobs: Sequence[Job]) -> list[Any]:
+        return [execute_job(jb) for jb in jobs]
+
+
+class ParallelExecutor(Executor):
+    """Run jobs across a pool of worker processes.
+
+    Jobs and payloads are picklable by contract, and every job carries its
+    own seed, so distributing work cannot change any result — only the
+    wall-clock time.  ``pool.map`` over the (deduplicated) job list keys
+    results by submission position, so ordering is deterministic too.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers if workers else (os.cpu_count() or 2)
+        if self.workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+
+    def _run_batch(self, jobs: Sequence[Job]) -> list[Any]:
+        if len(jobs) <= 1 or self.workers == 1:
+            return [execute_job(jb) for jb in jobs]
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(jobs))) as pool:
+            return list(pool.map(execute_job, jobs, chunksize=1))
+
+
+def make_executor(parallel: int = 0) -> Executor:
+    """``parallel <= 1`` gives the serial executor, else a process pool."""
+    if parallel and parallel > 1:
+        return ParallelExecutor(parallel)
+    return SerialExecutor()
+
+
+def execute(
+    jobs: Iterable[Job],
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> list[JobResult]:
+    """Convenience wrapper: run ``jobs`` on ``executor`` (default serial)."""
+    return (executor or SerialExecutor()).map(list(jobs), cache=cache)

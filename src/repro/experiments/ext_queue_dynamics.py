@@ -28,7 +28,7 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.traffic.bulk import add_flows
 
-__all__ = ["QueueDynamicsConfig", "measure_queue_dynamics", "run"]
+__all__ = ["QueueDynamicsConfig", "jobs", "measure_queue_dynamics", "reduce", "run"]
 
 
 @dataclass(frozen=True)
@@ -80,12 +80,33 @@ def measure_queue_dynamics(
     return window.mean(), coefficient_of_variation(values), loss
 
 
-def run(scale: str = "fast", **overrides) -> Table:
+def default_protocols() -> tuple[Protocol, ...]:
+    return (tcp(2), tcp(8), tfrc(6))
+
+
+def jobs(scale: str = "fast", **overrides) -> list:
+    from repro.experiments.jobs import indexed, job
+
     cfg = (
         QueueDynamicsConfig.fast(**overrides)
         if scale == "fast"
         else QueueDynamicsConfig(**overrides)
     )
+    return indexed(
+        job(
+            "ext_queue_dynamics",
+            "queue_dynamics",
+            config=cfg,
+            protocol=protocol,
+            params={"aqm": aqm},
+            scale=scale,
+        )
+        for protocol in default_protocols()
+        for aqm in ("red", "droptail")
+    )
+
+
+def reduce(results) -> Table:
     table = Table(
         title="Queue dynamics: occupancy and oscillation by sender type and AQM",
         columns=["protocol", "aqm", "mean_queue_pkts", "queue_cov", "loss_rate"],
@@ -98,8 +119,19 @@ def run(scale: str = "fast", **overrides) -> Table:
             "equation-based-CC literature."
         ),
     )
-    for protocol in (tcp(2), tcp(8), tfrc(6)):
-        for aqm in ("red", "droptail"):
-            mean_q, cov, loss = measure_queue_dynamics(protocol, aqm, cfg)
-            table.add(protocol.name, aqm, mean_q, cov, loss)
+    for result in results:
+        payload = result.value
+        table.add(
+            payload["protocol"],
+            result.job.param("aqm"),
+            payload["mean_queue_pkts"],
+            payload["queue_cov"],
+            payload["loss_rate"],
+        )
     return table
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **overrides) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **overrides), executor, cache))

@@ -27,8 +27,10 @@ from repro.sim.engine import Simulator
 
 __all__ = [
     "SwitchDropper",
+    "jobs",
     "measure_aggressiveness_pkts_per_rtt",
     "measure_responsiveness_rtts",
+    "reduce",
     "run",
     "run_aggressiveness",
 ]
@@ -105,15 +107,38 @@ def measure_responsiveness_rtts(
     return None
 
 
-def run(scale: str = "fast", **overrides) -> Table:
-    protocols = [
+def default_protocols() -> list[tuple[str, Protocol, float]]:
+    return [
         ("TCP(1/2)", tcp(2), 1.0),
         ("TCP(1/8)", tcp(8), 6.0),
         ("SQRT(1/2)", sqrt(2), math.nan),
         ("TFRC(6)", tfrc(6), 5.0),
         ("TFRC(256)", tfrc(256), math.nan),
     ]
-    observe = 400 if scale == "fast" else 1000
+
+
+def jobs(scale: str = "fast", observe_rtts: Optional[int] = None) -> list:
+    from repro.experiments.jobs import indexed, job
+
+    observe = (
+        observe_rtts
+        if observe_rtts is not None
+        else (400 if scale == "fast" else 1000)
+    )
+    return indexed(
+        job(
+            "ext_responsiveness",
+            "responsiveness",
+            protocol=protocol,
+            params={"observe_rtts": int(observe)},
+            scale=scale,
+            tags={"label": name, "reference": reference},
+        )
+        for name, protocol, reference in default_protocols()
+    )
+
+
+def reduce(results) -> Table:
     table = Table(
         title="Responsiveness: RTTs of one-loss-per-RTT congestion to halve the rate",
         columns=["protocol", "measured_rtts", "paper_reference"],
@@ -126,10 +151,20 @@ def run(scale: str = "fast", **overrides) -> Table:
             "idealized decision count."
         ),
     )
-    for name, protocol, reference in protocols:
-        measured = measure_responsiveness_rtts(protocol, observe_rtts=observe)
-        table.add(name, measured if measured is not None else math.nan, reference)
+    for result in results:
+        measured = result.value
+        table.add(
+            result.job.tag("label"),
+            measured if measured is not None else math.nan,
+            result.job.tag("reference"),
+        )
     return table
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **overrides) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **overrides), executor, cache))
 
 
 def measure_aggressiveness_pkts_per_rtt(

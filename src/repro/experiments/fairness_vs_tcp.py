@@ -5,17 +5,22 @@ while a square-wave CBR source oscillates the available bandwidth 3:1.
 Each column of the paper's figures is one simulation at one square-wave
 period; the series are the per-flow throughputs normalized by the fair
 share, plus the per-type means.
+
+``fairness_jobs`` / ``fairness_reduce`` are the declarative halves the
+figure modules delegate to; ``fairness_table`` is the one-call legacy
+convenience built on top of them.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.protocols import Protocol, tcp
+from repro.experiments.jobs import Job, indexed, job
+from repro.experiments.protocols import Protocol, spec_of, tcp
 from repro.experiments.runner import Table, pick_config
-from repro.experiments.scenarios import OscillationConfig, run_oscillation
+from repro.experiments.scenarios import OscillationConfig
 
-__all__ = ["default_periods", "fairness_table"]
+__all__ = ["default_periods", "fairness_jobs", "fairness_reduce", "fairness_table"]
 
 
 def default_periods(scale: str) -> list[float]:
@@ -24,18 +29,35 @@ def default_periods(scale: str) -> list[float]:
     return [0.2, 0.4, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
 
 
-def fairness_table(
+def fairness_jobs(
     figure: str,
     competitor: Protocol,
-    paper_claim: str,
     scale: str = "fast",
     periods: Sequence[float] | None = None,
     **overrides,
-) -> Table:
+) -> list[Job]:
+    """One mixed TCP-vs-competitor oscillation job per square-wave period."""
     cfg = pick_config(OscillationConfig, scale, **overrides)
     periods = list(periods) if periods is not None else default_periods(scale)
+    reference = tcp(2)
+    return indexed(
+        job(
+            figure,
+            "oscillation",
+            config=cfg,
+            protocol=reference,
+            scale=scale,
+            params={"period_s": float(period), "protocol_b": spec_of(competitor)},
+        )
+        for period in periods
+    )
+
+
+def fairness_reduce(
+    results, figure: str, competitor_name: str, paper_claim: str
+) -> Table:
     table = Table(
-        title=f"{figure}: TCP vs {competitor.name} under 3:1 oscillating bandwidth",
+        title=f"{figure}: TCP vs {competitor_name} under 3:1 oscillating bandwidth",
         columns=[
             "period_s",
             "tcp_mean_share",
@@ -45,10 +67,34 @@ def fairness_table(
         ],
         notes=paper_claim,
     )
-    reference = tcp(2)
-    for period in periods:
-        result = run_oscillation(reference, competitor, period, cfg)
+    for result in results:
+        value = result.value
         table.add(
-            period, result.mean_a, result.mean_b, result.utilization, result.drop_rate
+            value["period_s"],
+            value["mean_a"],
+            value["mean_b"],
+            value["utilization"],
+            value["drop_rate"],
         )
     return table
+
+
+def fairness_table(
+    figure: str,
+    competitor: Protocol,
+    paper_claim: str,
+    scale: str = "fast",
+    periods: Sequence[float] | None = None,
+    *,
+    executor=None,
+    cache=None,
+    **overrides,
+) -> Table:
+    from repro.experiments.executor import execute
+
+    results = execute(
+        fairness_jobs(figure, competitor, scale, periods, **overrides),
+        executor,
+        cache,
+    )
+    return fairness_reduce(results, figure, competitor.name, paper_claim)

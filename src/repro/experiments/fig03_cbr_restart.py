@@ -9,11 +9,14 @@ without self-clocking) hold the network in overload for hundreds of RTTs.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
+from repro.experiments.jobs import Job, indexed, job
 from repro.experiments.protocols import Protocol, tcp, tfrc
 from repro.experiments.runner import Table, pick_config
-from repro.experiments.scenarios import CbrRestartConfig, run_cbr_restart
+from repro.experiments.scenarios import CbrRestartConfig
 
-__all__ = ["default_protocols", "run"]
+__all__ = ["default_protocols", "jobs", "reduce", "run"]
 
 
 def default_protocols() -> list[Protocol]:
@@ -25,9 +28,22 @@ def default_protocols() -> list[Protocol]:
     ]
 
 
-def run(scale: str = "fast", protocols: list[Protocol] | None = None, **overrides) -> Table:
-    """Drop-rate series around the restart, one row per (protocol, time)."""
+def jobs(
+    scale: str = "fast",
+    protocols: Sequence[Protocol] | None = None,
+    **overrides,
+) -> list[Job]:
+    """One CBR-restart job per protocol."""
     cfg = pick_config(CbrRestartConfig, scale, **overrides)
+    return indexed(
+        job("fig03", "cbr_restart", config=cfg, protocol=protocol, scale=scale)
+        for protocol in (protocols if protocols is not None else default_protocols())
+    )
+
+
+def reduce(results) -> Table:
+    """Drop-rate series around the restart, one row per (protocol, time)."""
+    cfg = results[0].job.config
     table = Table(
         title="Figure 3: drop rate after a CBR restart",
         columns=["protocol", "time_s", "loss_rate"],
@@ -38,9 +54,23 @@ def run(scale: str = "fast", protocols: list[Protocol] | None = None, **override
             "algorithms stay in overload for hundreds of RTTs."
         ),
     )
-    for protocol in protocols if protocols is not None else default_protocols():
-        result = run_cbr_restart(protocol, cfg)
-        for t, rate in result.loss_series:
+    for result in results:
+        for t, rate in result.value["series"]:
             if t >= cfg.cbr_restart - 2.0:
-                table.add(result.protocol, t, rate)
+                table.add(result.value["protocol"], t, rate)
     return table
+
+
+def run(
+    scale: str = "fast",
+    protocols: Sequence[Protocol] | None = None,
+    *,
+    executor=None,
+    cache=None,
+    **overrides,
+) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(
+        execute(jobs(scale, protocols=protocols, **overrides), executor, cache)
+    )

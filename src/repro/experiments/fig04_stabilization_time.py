@@ -6,19 +6,29 @@ previous RTT's bottleneck ACK rate); for the rate-based RAP(1/gamma) and
 TFRC(gamma) it grows to hundreds of RTTs at large gamma; TFRC with the
 conservative_ self-clocking option is repaired.
 
-Figure 5 uses the same sweep with the stabilization *cost* metric, so
-:func:`sweep` returns the raw results for both figures to share.
+Figure 5 reports the same sweep with the stabilization *cost* metric, so
+both figures define the same job list and share cached results; the sweep
+is never run twice.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.experiments.jobs import Job, indexed, job
 from repro.experiments.protocols import Protocol, rap, sqrt, tcp, tfrc
 from repro.experiments.runner import Table, pick_config
 from repro.experiments.scenarios import CbrRestartConfig, CbrRestartResult, run_cbr_restart
 
-__all__ = ["FAMILIES", "default_gammas", "sweep", "run"]
+__all__ = [
+    "FAMILIES",
+    "default_gammas",
+    "jobs",
+    "reduce",
+    "run",
+    "sweep",
+    "table_from_sweep",
+]
 
 # Family name -> factory(gamma) -> Protocol.
 FAMILIES: dict[str, Callable[[int], Protocol]] = {
@@ -36,13 +46,81 @@ def default_gammas(scale: str) -> list[int]:
     return [2, 4, 8, 16, 32, 64, 128, 256]
 
 
+def jobs(
+    scale: str = "fast",
+    gammas: Sequence[int] | None = None,
+    families: dict[str, Callable[[int], Protocol]] | None = None,
+    **overrides,
+) -> list[Job]:
+    """The CBR-restart sweep across families x gammas, as jobs."""
+    cfg = pick_config(CbrRestartConfig, scale, **overrides)
+    gammas = list(gammas) if gammas is not None else default_gammas(scale)
+    families = families if families is not None else FAMILIES
+    return indexed(
+        job(
+            "fig04",
+            "cbr_restart",
+            config=cfg,
+            protocol=factory(gamma),
+            scale=scale,
+            tags={"family": family, "gamma": gamma},
+        )
+        for family, factory in families.items()
+        for gamma in gammas
+    )
+
+
+def _metric_table(metric: str) -> tuple[str, str, str]:
+    if metric == "time":
+        return (
+            "time_rtts",
+            "Figure 4: stabilization time (RTTs) vs gamma",
+            "Paper: self-clocked TCP/SQRT stay low for all gamma; RAP and "
+            "TFRC without self-clocking reach hundreds of RTTs at gamma=256; "
+            "TFRC+SC behaves like TCP.",
+        )
+    if metric == "cost":
+        return (
+            "cost",
+            "Figure 5: stabilization cost vs gamma (log scale in paper)",
+            "Paper: at large gamma the rate-based algorithms are up to two "
+            "orders of magnitude worse than the most slowly-responsive "
+            "TCP(1/gamma) or SQRT(1/gamma).",
+        )
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def reduce(results, metric: str = "time") -> Table:
+    """Fold sweep payloads into the Figure 4 (time) or 5 (cost) table."""
+    field, title, note = _metric_table(metric)
+    table = Table(title=title, columns=["family", "gamma", "value"], notes=note)
+    keyed = {
+        (r.job.tag("family"), r.job.tag("gamma")): r.value[field] for r in results
+    }
+    for (family, gamma), value in sorted(keyed.items()):
+        table.add(family, gamma, value)
+    return table
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache), metric="time")
+
+
+# ---------------------------------------------------------------------------
+# Legacy in-process sweep API (kept for the benchmark harness and tests
+# that inspect the rich CbrRestartResult objects directly).
+# ---------------------------------------------------------------------------
+
+
 def sweep(
     scale: str = "fast",
     gammas: Sequence[int] | None = None,
     families: dict[str, Callable[[int], Protocol]] | None = None,
     **overrides,
 ) -> dict[tuple[str, int], CbrRestartResult]:
-    """Run the CBR-restart scenario across families x gammas."""
+    """Run the CBR-restart scenario across families x gammas, serially."""
     cfg = pick_config(CbrRestartConfig, scale, **overrides)
     gammas = list(gammas) if gammas is not None else default_gammas(scale)
     families = families if families is not None else FAMILIES
@@ -57,22 +135,7 @@ def table_from_sweep(
     results: dict[tuple[str, int], CbrRestartResult], metric: str
 ) -> Table:
     """Build the Figure 4 (time) or Figure 5 (cost) table from a sweep."""
-    if metric == "time":
-        title = "Figure 4: stabilization time (RTTs) vs gamma"
-        note = (
-            "Paper: self-clocked TCP/SQRT stay low for all gamma; RAP and "
-            "TFRC without self-clocking reach hundreds of RTTs at gamma=256; "
-            "TFRC+SC behaves like TCP."
-        )
-    elif metric == "cost":
-        title = "Figure 5: stabilization cost vs gamma (log scale in paper)"
-        note = (
-            "Paper: at large gamma the rate-based algorithms are up to two "
-            "orders of magnitude worse than the most slowly-responsive "
-            "TCP(1/gamma) or SQRT(1/gamma)."
-        )
-    else:
-        raise ValueError(f"unknown metric {metric!r}")
+    field, title, note = _metric_table(metric)
     table = Table(title=title, columns=["family", "gamma", "value"], notes=note)
     for (family, gamma), result in sorted(results.items()):
         value = (
@@ -82,7 +145,3 @@ def table_from_sweep(
         )
         table.add(family, gamma, value)
     return table
-
-
-def run(scale: str = "fast", **kwargs) -> Table:
-    return table_from_sweep(sweep(scale, **kwargs), metric="time")

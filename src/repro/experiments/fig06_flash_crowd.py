@@ -9,19 +9,34 @@ TFRC(256) without self-clocking is slow to yield.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+from repro.experiments.jobs import Job, indexed, job
 from repro.experiments.protocols import Protocol, tcp, tfrc
 from repro.experiments.runner import Table, pick_config
-from repro.experiments.scenarios import FlashCrowdConfig, run_flash_crowd
+from repro.experiments.scenarios import FlashCrowdConfig
 
-__all__ = ["default_protocols", "run"]
+__all__ = ["default_protocols", "jobs", "reduce", "run"]
 
 
 def default_protocols() -> list[Protocol]:
     return [tcp(2), tfrc(256), tfrc(256, conservative=True)]
 
 
-def run(scale: str = "fast", protocols: list[Protocol] | None = None, **overrides) -> Table:
+def jobs(
+    scale: str = "fast",
+    protocols: Sequence[Protocol] | None = None,
+    **overrides,
+) -> list[Job]:
     cfg = pick_config(FlashCrowdConfig, scale, **overrides)
+    return indexed(
+        job("fig06", "flash_crowd", config=cfg, protocol=protocol, scale=scale)
+        for protocol in (protocols if protocols is not None else default_protocols())
+    )
+
+
+def reduce(results) -> Table:
+    cfg = results[0].job.config
     table = Table(
         title="Figure 6: aggregate throughput around a flash crowd",
         columns=["background", "time_s", "background_mbps", "crowd_mbps"],
@@ -32,9 +47,23 @@ def run(scale: str = "fast", protocols: list[Protocol] | None = None, **override
             "TFRC(256) with self-clocking; TFRC(256) without it yields slowly."
         ),
     )
-    for protocol in protocols if protocols is not None else default_protocols():
-        result = run_flash_crowd(protocol, cfg)
-        crowd = dict(result.crowd_series)
-        for t, bg in result.background_series:
-            table.add(result.protocol, t, bg / 1e6, crowd.get(t, 0.0) / 1e6)
+    for result in results:
+        crowd = {t: v for t, v in result.value["crowd"]}
+        for t, bg in result.value["background"]:
+            table.add(result.value["protocol"], t, bg / 1e6, crowd.get(t, 0.0) / 1e6)
     return table
+
+
+def run(
+    scale: str = "fast",
+    protocols: Sequence[Protocol] | None = None,
+    *,
+    executor=None,
+    cache=None,
+    **overrides,
+) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(
+        execute(jobs(scale, protocols=protocols, **overrides), executor, cache)
+    )

@@ -9,21 +9,29 @@ in the long term.
 
 from __future__ import annotations
 
-from repro.experiments.fairness_vs_tcp import fairness_table
+from repro.experiments.fairness_vs_tcp import fairness_jobs, fairness_reduce
+from repro.experiments.jobs import Job
 from repro.experiments.protocols import tfrc
 from repro.experiments.runner import Table
 
-__all__ = ["run"]
+__all__ = ["jobs", "reduce", "run"]
+
+COMPETITOR = tfrc(6)
+PAPER_CLAIM = (
+    "Paper: TCP > TFRC for periods ~1-10 s; utilization dips near a "
+    "period of 4 RTTs; TFRC never beats TCP in the long term."
+)
 
 
-def run(scale: str = "fast", **kwargs) -> Table:
-    return fairness_table(
-        "Figure 7",
-        tfrc(6),
-        paper_claim=(
-            "Paper: TCP > TFRC for periods ~1-10 s; utilization dips near a "
-            "period of 4 RTTs; TFRC never beats TCP in the long term."
-        ),
-        scale=scale,
-        **kwargs,
-    )
+def jobs(scale: str = "fast", **kwargs) -> list[Job]:
+    return fairness_jobs("fig07", COMPETITOR, scale, **kwargs)
+
+
+def reduce(results) -> Table:
+    return fairness_reduce(results, "Figure 7", COMPETITOR.name, PAPER_CLAIM)
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

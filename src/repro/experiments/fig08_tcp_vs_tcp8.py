@@ -7,22 +7,30 @@ appears, so TCP out-competes it in the oscillating environment.
 
 from __future__ import annotations
 
-from repro.experiments.fairness_vs_tcp import fairness_table
+from repro.experiments.fairness_vs_tcp import fairness_jobs, fairness_reduce
+from repro.experiments.jobs import Job
 from repro.experiments.protocols import tcp
 from repro.experiments.runner import Table
 
-__all__ = ["run"]
+__all__ = ["jobs", "reduce", "run"]
+
+COMPETITOR = tcp(8)
+PAPER_CLAIM = (
+    "Paper: TCP receives more than TCP(1/8) under oscillating "
+    "bandwidth; the slower algorithm is not mistreating TCP, it is "
+    "losing throughput itself."
+)
 
 
-def run(scale: str = "fast", **kwargs) -> Table:
-    return fairness_table(
-        "Figure 8",
-        tcp(8),
-        paper_claim=(
-            "Paper: TCP receives more than TCP(1/8) under oscillating "
-            "bandwidth; the slower algorithm is not mistreating TCP, it is "
-            "losing throughput itself."
-        ),
-        scale=scale,
-        **kwargs,
-    )
+def jobs(scale: str = "fast", **kwargs) -> list[Job]:
+    return fairness_jobs("fig08", COMPETITOR, scale, **kwargs)
+
+
+def reduce(results) -> Table:
+    return fairness_reduce(results, "Figure 8", COMPETITOR.name, PAPER_CLAIM)
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

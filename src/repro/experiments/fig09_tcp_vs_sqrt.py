@@ -7,21 +7,29 @@ equitable share when conditions change dynamically.
 
 from __future__ import annotations
 
-from repro.experiments.fairness_vs_tcp import fairness_table
+from repro.experiments.fairness_vs_tcp import fairness_jobs, fairness_reduce
+from repro.experiments.jobs import Job
 from repro.experiments.protocols import sqrt
 from repro.experiments.runner import Table
 
-__all__ = ["run"]
+__all__ = ["jobs", "reduce", "run"]
+
+COMPETITOR = sqrt(2)
+PAPER_CLAIM = (
+    "Paper: TCP modestly out-competes SQRT under oscillating "
+    "bandwidth, without SQRT harming TCP."
+)
 
 
-def run(scale: str = "fast", **kwargs) -> Table:
-    return fairness_table(
-        "Figure 9",
-        sqrt(2),
-        paper_claim=(
-            "Paper: TCP modestly out-competes SQRT under oscillating "
-            "bandwidth, without SQRT harming TCP."
-        ),
-        scale=scale,
-        **kwargs,
-    )
+def jobs(scale: str = "fast", **kwargs) -> list[Job]:
+    return fairness_jobs("fig09", COMPETITOR, scale, **kwargs)
+
+
+def reduce(results) -> Table:
+    return fairness_reduce(results, "Figure 9", COMPETITOR.name, PAPER_CLAIM)
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

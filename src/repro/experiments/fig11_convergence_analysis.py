@@ -10,22 +10,37 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.analysis.convergence import acks_to_fairness
+from repro.experiments.jobs import Job, indexed, job
 from repro.experiments.runner import Table
 
-__all__ = ["default_bs", "measure_acks_to_fairness", "run"]
+__all__ = ["default_bs", "jobs", "measure_acks_to_fairness", "reduce", "run"]
 
 
 def default_bs(scale: str = "fast") -> list[float]:
     return [0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 1 / 32, 1 / 64, 1 / 128, 1 / 256]
 
 
-def run(
+def jobs(
     scale: str = "fast",
     bs: Sequence[float] | None = None,
     p: float = 0.1,
     delta: float = 0.1,
-) -> Table:
+) -> list[Job]:
+    return indexed(
+        job(
+            "fig11",
+            "analysis_acks",
+            params={"b": float(b), "p": float(p), "delta": float(delta)},
+            scale=scale,
+        )
+        for b in (bs if bs is not None else default_bs(scale))
+    )
+
+
+def reduce(results) -> Table:
+    first = results[0].job
+    p = first.param("p")
+    delta = first.param("delta")
     table = Table(
         title="Figure 11: expected ACKs to 0.1-fairness (analysis)",
         columns=["b", "expected_acks"],
@@ -34,9 +49,23 @@ def run(
             "for b > ~0.2, exponentially longer for smaller b."
         ),
     )
-    for b in bs if bs is not None else default_bs(scale):
-        table.add(b, acks_to_fairness(b, p, delta))
+    for result in results:
+        table.add(result.job.param("b"), result.value)
     return table
+
+
+def run(
+    scale: str = "fast",
+    bs: Sequence[float] | None = None,
+    p: float = 0.1,
+    delta: float = 0.1,
+    *,
+    executor=None,
+    cache=None,
+) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, bs, p, delta), executor, cache))
 
 
 def measure_acks_to_fairness(

@@ -8,13 +8,15 @@ multiplicative decreases.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
+from repro.experiments.jobs import Job, indexed, job
 from repro.experiments.protocols import tfrc
 from repro.experiments.runner import Table, pick_config
-from repro.experiments.scenarios import ConvergenceConfig, run_convergence
+from repro.experiments.scenarios import ConvergenceConfig
 
-__all__ = ["default_ks", "run"]
+__all__ = ["default_ks", "jobs", "reduce", "run"]
 
 
 def default_ks(scale: str) -> list[int]:
@@ -23,8 +25,26 @@ def default_ks(scale: str) -> list[int]:
     return [1, 2, 6, 16, 32, 64, 128, 256]
 
 
-def run(scale: str = "fast", ks: Sequence[int] | None = None, **overrides) -> Table:
+def jobs(
+    scale: str = "fast", ks: Sequence[int] | None = None, **overrides
+) -> list[Job]:
     cfg = pick_config(ConvergenceConfig, scale, **overrides)
+    return indexed(
+        job(
+            "fig12",
+            "convergence",
+            config=replace(cfg, seeds=(seed,)),
+            protocol=tfrc(k),
+            seed=seed,
+            scale=scale,
+            tags={"k": k},
+        )
+        for k in (ks if ks is not None else default_ks(scale))
+        for seed in cfg.seeds
+    )
+
+
+def reduce(results) -> Table:
     table = Table(
         title="Figure 12: 0.1-fair convergence time for two TFRC(k) flows",
         columns=["k", "convergence_s"],
@@ -33,6 +53,15 @@ def run(scale: str = "fast", ks: Sequence[int] | None = None, **overrides) -> Ta
             "1/b (compare Figure 10)."
         ),
     )
-    for k in ks if ks is not None else default_ks(scale):
-        table.add(k, run_convergence(tfrc(k), cfg))
+    by_k: dict[int, list[float]] = {}
+    for result in results:
+        by_k.setdefault(result.job.tag("k"), []).append(result.value)
+    for k, times in by_k.items():
+        table.add(k, sum(times) / len(times))
     return table
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.experiments.jobs import Job, indexed, job
 from repro.experiments.protocols import Protocol, sqrt, tcp, tfrc
 from repro.experiments.runner import Table, pick_config
-from repro.experiments.scenarios import DoublingConfig, run_doubling
+from repro.experiments.scenarios import DoublingConfig
 
-__all__ = ["FAMILIES", "default_gammas", "run"]
+__all__ = ["FAMILIES", "default_gammas", "jobs", "reduce", "run"]
 
 FAMILIES: dict[str, Callable[[int], Protocol]] = {
     "TCP(1/b)": lambda g: tcp(g),
@@ -30,13 +31,30 @@ def default_gammas(scale: str) -> list[int]:
     return [2, 4, 8, 16, 32, 64, 128, 256]
 
 
-def run(
+def jobs(
     scale: str = "fast",
     gammas: Sequence[int] | None = None,
     families: dict[str, Callable[[int], Protocol]] | None = None,
     **overrides,
-) -> Table:
+) -> list[Job]:
     cfg = pick_config(DoublingConfig, scale, **overrides)
+    gammas = list(gammas) if gammas is not None else default_gammas(scale)
+    families = families if families is not None else FAMILIES
+    return indexed(
+        job(
+            "fig13",
+            "doubling",
+            config=cfg,
+            protocol=factory(gamma),
+            scale=scale,
+            tags={"family": family, "b_param": gamma},
+        )
+        for family, factory in families.items()
+        for gamma in gammas
+    )
+
+
+def reduce(results) -> Table:
     table = Table(
         title="Figure 13: link utilization f(20), f(200) after bandwidth doubles",
         columns=["family", "b_param", "f20", "f200"],
@@ -46,10 +64,18 @@ def run(
             "at f(200)."
         ),
     )
-    gammas = list(gammas) if gammas is not None else default_gammas(scale)
-    families = families if families is not None else FAMILIES
-    for family, factory in families.items():
-        for gamma in gammas:
-            result = run_doubling(factory(gamma), cfg)
-            table.add(family, gamma, result.f_of_k[20], result.f_of_k[200])
+    for result in results:
+        f_of_k = {k: v for k, v in result.value["f_of_k"]}
+        table.add(
+            result.job.tag("family"),
+            result.job.tag("b_param"),
+            f_of_k[20],
+            f_of_k[200],
+        )
     return table
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

@@ -8,20 +8,30 @@ the available bandwidth.
 
 from __future__ import annotations
 
-from repro.experiments.oscillation_utilization import sweep, table_from_sweep
+from repro.experiments.jobs import Job
+from repro.experiments.oscillation_utilization import reduce_sweep, sweep_jobs
 from repro.experiments.runner import Table
 
-__all__ = ["run"]
+__all__ = ["jobs", "reduce", "run"]
+
+CBR_FRACTION = 2.0 / 3.0
+TITLE = "Figure 14: utilization vs CBR ON/OFF time (3:1 oscillation)"
+NOTES = (
+    "Paper: high utilization at 50 ms ON/OFF; a dip below ~0.8 around "
+    "ON/OFF = 4 RTTs for all three protocols."
+)
 
 
-def run(scale: str = "fast", **kwargs) -> Table:
-    results = sweep(scale, cbr_fraction=2.0 / 3.0, **kwargs)
-    return table_from_sweep(
-        results,
-        metric="utilization",
-        title="Figure 14: utilization vs CBR ON/OFF time (3:1 oscillation)",
-        notes=(
-            "Paper: high utilization at 50 ms ON/OFF; a dip below ~0.8 around "
-            "ON/OFF = 4 RTTs for all three protocols."
-        ),
-    )
+def jobs(scale: str = "fast", **kwargs) -> list[Job]:
+    kwargs.setdefault("cbr_fraction", CBR_FRACTION)
+    return sweep_jobs("fig14", scale, **kwargs)
+
+
+def reduce(results) -> Table:
+    return reduce_sweep(results, metric="utilization", title=TITLE, notes=NOTES)
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

@@ -7,20 +7,30 @@ particularly badly relative to TCP.
 
 from __future__ import annotations
 
-from repro.experiments.oscillation_utilization import sweep, table_from_sweep
+from repro.experiments.jobs import Job
+from repro.experiments.oscillation_utilization import reduce_sweep, sweep_jobs
 from repro.experiments.runner import Table
 
-__all__ = ["run"]
+__all__ = ["jobs", "reduce", "run"]
+
+CBR_FRACTION = 0.9
+TITLE = "Figure 16: utilization vs CBR ON/OFF time (10:1 oscillation)"
+NOTES = (
+    "Paper: all protocols suffer; TFRC is worst at some oscillation "
+    "frequencies."
+)
 
 
-def run(scale: str = "fast", **kwargs) -> Table:
-    results = sweep(scale, cbr_fraction=0.9, **kwargs)
-    return table_from_sweep(
-        results,
-        metric="utilization",
-        title="Figure 16: utilization vs CBR ON/OFF time (10:1 oscillation)",
-        notes=(
-            "Paper: all protocols suffer; TFRC is worst at some oscillation "
-            "frequencies."
-        ),
-    )
+def jobs(scale: str = "fast", **kwargs) -> list[Job]:
+    kwargs.setdefault("cbr_fraction", CBR_FRACTION)
+    return sweep_jobs("fig16", scale, **kwargs)
+
+
+def reduce(results) -> Table:
+    return reduce_sweep(results, metric="utilization", title=TITLE, notes=NOTES)
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

@@ -8,23 +8,70 @@ TCP(1/8) and achieves slightly higher throughput.
 
 from __future__ import annotations
 
+from repro.experiments.jobs import DropperSpec, Job, indexed, job
 from repro.experiments.protocols import Protocol, tcp, tfrc
 from repro.experiments.runner import Table, pick_config
-from repro.experiments.scenarios import LossPatternConfig, run_loss_pattern
-from repro.net.droppers import CountBasedDropper, mild_bursty_pattern
+from repro.experiments.scenarios import LossPatternConfig
+from repro.net.droppers import mild_bursty_pattern
 
-__all__ = ["default_protocols", "run"]
+__all__ = ["default_protocols", "jobs", "loss_pattern_table", "reduce", "run"]
+
+LOSS_COLUMNS = [
+    "protocol",
+    "throughput_mbps",
+    "smoothness_cov",
+    "worst_ratio",
+    "rate_band",
+    "drops",
+]
 
 
 def default_protocols() -> list[Protocol]:
     return [tfrc(6), tcp(8)]
 
 
-def run(scale: str = "fast", protocols: list[Protocol] | None = None, **overrides) -> Table:
+def jobs(
+    scale: str = "fast",
+    protocols: list[Protocol] | None = None,
+    *,
+    figure: str = "fig17",
+    **overrides,
+) -> list[Job]:
     cfg = pick_config(LossPatternConfig, scale, **overrides)
-    table = Table(
+    dropper = DropperSpec.count(mild_bursty_pattern())
+    return indexed(
+        job(
+            figure,
+            "loss_pattern",
+            config=cfg,
+            protocol=protocol,
+            params={"dropper": dropper},
+            scale=scale,
+        )
+        for protocol in (protocols if protocols is not None else default_protocols())
+    )
+
+
+def loss_pattern_table(results, title: str, notes: str) -> Table:
+    """Shared Figures 17-19 table: one row per protocol, in job order."""
+    table = Table(title=title, columns=list(LOSS_COLUMNS), notes=notes)
+    for result in results:
+        payload = result.value
+        table.add(
+            payload["protocol"],
+            payload["throughput_bps"] / 1e6,
+            payload["smoothness_cov"],
+            payload["worst_ratio"],
+            payload["rate_band"],
+            payload["drops"],
+        )
+    return table
+
+
+def reduce(results) -> Table:
+    return loss_pattern_table(
+        results,
         title="Figure 17: mildly bursty loss pattern (drops at 3x50 then 3x400 arrivals)",
-        columns=["protocol", "throughput_mbps", "smoothness_cov", "worst_ratio", "rate_band", "drops"],
         notes=(
             "Paper: TFRC considerably smoother than TCP(1/8) with slightly "
             "higher throughput.  smoothness_cov is the coefficient of "
@@ -32,18 +79,9 @@ def run(scale: str = "fast", protocols: list[Protocol] | None = None, **override
             "worst_ratio is the paper's consecutive-bin metric (1 = smooth)."
         ),
     )
-    for protocol in protocols if protocols is not None else default_protocols():
-        result = run_loss_pattern(
-            protocol,
-            lambda sim: CountBasedDropper(mild_bursty_pattern(), clock=lambda: sim.now),
-            cfg,
-        )
-        table.add(
-            result.protocol,
-            result.throughput_bps / 1e6,
-            result.smoothness.cov,
-            result.smoothness.min_ratio,
-            result.rate_band,
-            result.drops,
-        )
-    return table
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

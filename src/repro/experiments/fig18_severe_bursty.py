@@ -17,12 +17,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.experiments.fig17_mild_bursty import loss_pattern_table
+from repro.experiments.jobs import DropperSpec, Job, indexed, job
 from repro.experiments.protocols import Protocol, tcp, tfrc
 from repro.experiments.runner import Table, pick_config
-from repro.experiments.scenarios import LossPatternConfig, run_loss_pattern
-from repro.net.droppers import PhaseDropper, severe_bursty_phases
+from repro.experiments.scenarios import LossPatternConfig
+from repro.net.droppers import severe_bursty_phases
 
-__all__ = ["default_protocols", "default_phases", "run"]
+__all__ = ["default_protocols", "default_phases", "jobs", "reduce", "run"]
 
 
 def default_protocols() -> list[Protocol]:
@@ -35,35 +37,42 @@ def default_phases(scale: str) -> list[tuple[float, int]]:
     return severe_bursty_phases()
 
 
-def run(
+def jobs(
     scale: str = "fast",
     protocols: list[Protocol] | None = None,
     phases: Sequence[tuple[float, int]] | None = None,
     **overrides,
-) -> Table:
+) -> list[Job]:
     cfg = pick_config(LossPatternConfig, scale, **overrides)
-    phases = list(phases) if phases is not None else default_phases(scale)
-    table = Table(
+    dropper = DropperSpec.phase(
+        list(phases) if phases is not None else default_phases(scale)
+    )
+    return indexed(
+        job(
+            "fig18",
+            "loss_pattern",
+            config=cfg,
+            protocol=protocol,
+            params={"dropper": dropper},
+            scale=scale,
+        )
+        for protocol in (protocols if protocols is not None else default_protocols())
+    )
+
+
+def reduce(results) -> Table:
+    return loss_pattern_table(
+        results,
         title="Figure 18: severely bursty loss pattern (low phase then 1-in-4 drops)",
-        columns=["protocol", "throughput_mbps", "smoothness_cov", "worst_ratio", "rate_band", "drops"],
         notes=(
             "Paper: TFRC performs considerably worse than TCP(1/8), and even "
             "worse than TCP(1/2), in both smoothness and throughput — the "
             "pattern exploits the loss-interval averaging."
         ),
     )
-    for protocol in protocols if protocols is not None else default_protocols():
-        result = run_loss_pattern(
-            protocol,
-            lambda sim: PhaseDropper(phases, clock=lambda: sim.now),
-            cfg,
-        )
-        table.add(
-            result.protocol,
-            result.throughput_bps / 1e6,
-            result.smoothness.cov,
-            result.smoothness.min_ratio,
-            result.rate_band,
-            result.drops,
-        )
-    return table
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

@@ -7,18 +7,32 @@ throughput, relative to SQRT.
 
 from __future__ import annotations
 
-from repro.experiments.fig17_mild_bursty import run as _run_mild
+from repro.experiments.fig17_mild_bursty import jobs as _mild_jobs
+from repro.experiments.fig17_mild_bursty import loss_pattern_table
+from repro.experiments.jobs import Job
 from repro.experiments.protocols import iiad, sqrt
 from repro.experiments.runner import Table
 
-__all__ = ["run"]
+__all__ = ["jobs", "reduce", "run"]
 
 
-def run(scale: str = "fast", **kwargs) -> Table:
-    table = _run_mild(scale, protocols=[iiad(), sqrt(2)], **kwargs)
-    table.title = "Figure 19: IIAD vs SQRT under the mildly bursty loss pattern"
-    table.notes = (
-        "Paper: IIAD is smoother than SQRT but pays for it with lower "
-        "throughput."
+def jobs(scale: str = "fast", **kwargs) -> list[Job]:
+    kwargs.setdefault("protocols", [iiad(), sqrt(2)])
+    return _mild_jobs(scale, figure="fig19", **kwargs)
+
+
+def reduce(results) -> Table:
+    return loss_pattern_table(
+        results,
+        title="Figure 19: IIAD vs SQRT under the mildly bursty loss pattern",
+        notes=(
+            "Paper: IIAD is smoother than SQRT but pays for it with lower "
+            "throughput."
+        ),
     )
-    return table
+
+
+def run(scale: str = "fast", *, executor=None, cache=None, **kwargs) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, **kwargs), executor, cache))

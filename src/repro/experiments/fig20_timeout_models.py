@@ -10,17 +10,33 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.analysis.timeouts import figure20_series
+from repro.experiments.jobs import Job, indexed, job
 from repro.experiments.runner import Table
 
-__all__ = ["default_drop_rates", "run", "run_simulated", "measure_tcp_rate_per_rtt"]
+__all__ = [
+    "default_drop_rates",
+    "jobs",
+    "reduce",
+    "run",
+    "run_simulated",
+    "measure_tcp_rate_per_rtt",
+]
 
 
 def default_drop_rates(scale: str = "fast") -> list[float]:
     return [0.001, 0.003, 0.01, 0.03, 0.1, 0.2, 0.33, 0.5, 0.6, 0.7, 0.8, 0.9]
 
 
-def run(scale: str = "fast", p_values: Sequence[float] | None = None) -> Table:
+def jobs(scale: str = "fast", p_values: Sequence[float] | None = None) -> list[Job]:
+    return indexed(
+        job("fig20", "timeout_models", params={"p": float(p)}, scale=scale)
+        for p in (
+            list(p_values) if p_values is not None else default_drop_rates(scale)
+        )
+    )
+
+
+def reduce(results) -> Table:
     table = Table(
         title="Figure 20: sending rate (packets/RTT) vs drop rate, three models",
         columns=["p", "pure_aimd", "aimd_with_timeouts", "reno_tcp"],
@@ -30,11 +46,22 @@ def run(scale: str = "fast", p_values: Sequence[float] | None = None) -> Table:
             "model.  The timeout models extend below one packet per RTT."
         ),
     )
-    for row in figure20_series(
-        list(p_values) if p_values is not None else default_drop_rates(scale)
-    ):
-        table.add(row.p, row.pure_aimd, row.aimd_with_timeouts, row.reno)
+    for result in results:
+        pure_aimd, aimd_with_timeouts, reno = result.value
+        table.add(result.job.param("p"), pure_aimd, aimd_with_timeouts, reno)
     return table
+
+
+def run(
+    scale: str = "fast",
+    p_values: Sequence[float] | None = None,
+    *,
+    executor=None,
+    cache=None,
+) -> Table:
+    from repro.experiments.executor import execute
+
+    return reduce(execute(jobs(scale, p_values), executor, cache))
 
 
 def measure_tcp_rate_per_rtt(

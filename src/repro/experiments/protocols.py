@@ -5,12 +5,19 @@ TCP(1/gamma), RAP(1/gamma), SQRT(1/gamma) use multiplicative decrease
 b = 1/gamma; TFRC(gamma) averages gamma loss intervals.  These factories
 produce fresh (sender, receiver) pairs per flow so experiments can spawn
 any number of identical flows.
+
+Every factory also records a declarative :class:`ProtocolSpec` on the
+returned :class:`Protocol`.  A spec is a pure ``(family, params)`` value:
+picklable, hashable and content-addressable, so the experiment job layer
+(:mod:`repro.experiments.jobs`) can ship protocol descriptions to worker
+processes and into the on-disk result cache, then rebuild the live
+``Protocol`` with :meth:`ProtocolSpec.build`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable, Optional, Union
 
 from repro.cc.base import Receiver, Sender
 from repro.cc.binomial import iiad_rule, sqrt_rule, tcp_rule
@@ -21,7 +28,10 @@ from repro.cc.tfrc import new_tfrc_flow
 from repro.sim.engine import Simulator
 
 __all__ = [
+    "PROTOCOL_FAMILIES",
     "Protocol",
+    "ProtocolSpec",
+    "spec_of",
     "tcp",
     "tcp_b",
     "sqrt",
@@ -36,6 +46,42 @@ AgentPair = Callable[[Simulator], "tuple[Sender, Receiver]"]
 
 
 @dataclass(frozen=True)
+class ProtocolSpec:
+    """A declarative, picklable description of a protocol configuration.
+
+    ``family`` names a factory in :data:`PROTOCOL_FAMILIES`; ``params`` is
+    a sorted tuple of ``(name, value)`` keyword arguments for it.  Two
+    specs compare (and hash) equal exactly when they describe the same
+    configuration, which is what makes experiment jobs content-addressable.
+    """
+
+    family: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, family: str, **params: Any) -> "ProtocolSpec":
+        return cls(family=family, params=tuple(sorted(params.items())))
+
+    def build(self) -> "Protocol":
+        """Reconstruct the live :class:`Protocol` this spec describes."""
+        try:
+            factory = PROTOCOL_FAMILIES[self.family]
+        except KeyError:
+            raise KeyError(
+                f"unknown protocol family {self.family!r}; "
+                f"available: {', '.join(sorted(PROTOCOL_FAMILIES))}"
+            ) from None
+        return factory(**dict(self.params))
+
+    def describe(self) -> dict:
+        """A canonical JSON-able description (used for content hashing)."""
+        return {
+            "__protocol__": self.family,
+            "params": {name: value for name, value in self.params},
+        }
+
+
+@dataclass(frozen=True)
 class Protocol:
     """A named congestion-control configuration."""
 
@@ -43,9 +89,30 @@ class Protocol:
     make: AgentPair
     rate_based: bool = False
     self_clocked: bool = True
+    spec: Optional[ProtocolSpec] = field(default=None, compare=False)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
+
+
+def spec_of(protocol: Union[Protocol, ProtocolSpec]) -> ProtocolSpec:
+    """The :class:`ProtocolSpec` for a protocol (or a spec, unchanged).
+
+    Raises a clear ``TypeError`` for hand-rolled :class:`Protocol` objects
+    that carry no spec: those hold arbitrary callables and cannot be
+    shipped to worker processes or content-addressed.
+    """
+    if isinstance(protocol, ProtocolSpec):
+        return protocol
+    if isinstance(protocol, Protocol):
+        if protocol.spec is None:
+            raise TypeError(
+                f"protocol {protocol.name!r} has no declarative spec; build it "
+                "with a factory from repro.experiments.protocols (tcp, sqrt, "
+                "rap, tfrc, ...) or pass a ProtocolSpec directly"
+            )
+        return protocol.spec
+    raise TypeError(f"expected Protocol or ProtocolSpec, got {type(protocol)!r}")
 
 
 def standard_gammas() -> list[int]:
@@ -63,6 +130,7 @@ def tcp_b(b: float, packet_size: int = 1000) -> Protocol:
     return Protocol(
         name=f"TCP({b:g})",
         make=lambda sim: new_tcp_flow(sim, rule=tcp_rule(b), packet_size=packet_size),
+        spec=ProtocolSpec.of("tcp_b", b=float(b), packet_size=int(packet_size)),
     )
 
 
@@ -72,6 +140,7 @@ def sqrt(gamma: float = 2.0, packet_size: int = 1000) -> Protocol:
     return Protocol(
         name=f"SQRT({b:g})",
         make=lambda sim: new_tcp_flow(sim, rule=sqrt_rule(b), packet_size=packet_size),
+        spec=ProtocolSpec.of("sqrt", gamma=float(gamma), packet_size=int(packet_size)),
     )
 
 
@@ -80,6 +149,7 @@ def iiad(b: float = 1.0, packet_size: int = 1000) -> Protocol:
     return Protocol(
         name="IIAD",
         make=lambda sim: new_tcp_flow(sim, rule=iiad_rule(b), packet_size=packet_size),
+        spec=ProtocolSpec.of("iiad", b=float(b), packet_size=int(packet_size)),
     )
 
 
@@ -91,6 +161,7 @@ def rap(gamma: float = 2.0, packet_size: int = 1000) -> Protocol:
         make=lambda sim: new_rap_flow(sim, b=b, packet_size=packet_size),
         rate_based=True,
         self_clocked=False,
+        spec=ProtocolSpec.of("rap", gamma=float(gamma), packet_size=int(packet_size)),
     )
 
 
@@ -113,6 +184,13 @@ def tfrc(
         ),
         rate_based=True,
         self_clocked=conservative,
+        spec=ProtocolSpec.of(
+            "tfrc",
+            k=int(k),
+            conservative=bool(conservative),
+            history_discounting=bool(history_discounting),
+            packet_size=int(packet_size),
+        ),
     )
 
 
@@ -123,4 +201,19 @@ def tear(epochs: int = 8, packet_size: int = 1000) -> Protocol:
         make=lambda sim: new_tear_flow(sim, epochs=epochs, packet_size=packet_size),
         rate_based=True,
         self_clocked=False,
+        spec=ProtocolSpec.of("tear", epochs=int(epochs), packet_size=int(packet_size)),
     )
+
+
+#: Registry mapping spec family names to the factories above.  Keys are the
+#: vocabulary :class:`ProtocolSpec` understands; extend it to register new
+#: protocol families with the declarative job layer.
+PROTOCOL_FAMILIES: dict[str, Callable[..., Protocol]] = {
+    "tcp": tcp,
+    "tcp_b": tcp_b,
+    "sqrt": sqrt,
+    "iiad": iiad,
+    "rap": rap,
+    "tfrc": tfrc,
+    "tear": tear,
+}

@@ -16,12 +16,31 @@ __all__ = ["Table", "pick_config"]
 
 
 def pick_config(config_cls: type, scale: str, **overrides: Any):
-    """Build a scenario config at ``scale`` ("fast" or "paper")."""
-    if scale == "fast":
-        return config_cls.fast(**overrides)
-    if scale == "paper":
+    """Build a scenario config at ``scale`` ("fast" or "paper").
+
+    Unknown override names raise a :class:`TypeError` that names the
+    config class and its valid fields, instead of the bare dataclass
+    constructor error.
+    """
+    if scale not in ("fast", "paper"):
+        raise ValueError(f"unknown scale {scale!r}; use 'fast' or 'paper'")
+    try:
+        if scale == "fast":
+            return config_cls.fast(**overrides)
         return config_cls(**overrides)
-    raise ValueError(f"unknown scale {scale!r}; use 'fast' or 'paper'")
+    except TypeError as exc:
+        import dataclasses
+
+        if dataclasses.is_dataclass(config_cls):
+            valid = [f.name for f in dataclasses.fields(config_cls)]
+            unknown = sorted(set(overrides) - set(valid))
+            if unknown:
+                raise TypeError(
+                    f"unknown {config_cls.__name__} override(s) "
+                    f"{', '.join(map(repr, unknown))}; "
+                    f"valid fields: {', '.join(valid)}"
+                ) from exc
+        raise
 
 
 def _format_cell(value: Any) -> str:
@@ -52,13 +71,27 @@ class Table:
             )
         self.rows.append(tuple(values))
 
+    def _column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r} in table {self.title!r}; "
+                f"available columns: {', '.join(self.columns)}"
+            ) from None
+
     def column(self, name: str) -> list[Any]:
-        """All values of one column, by name."""
-        index = self.columns.index(name)
+        """All values of one column, by name.
+
+        Raises :class:`KeyError` naming the available columns when
+        ``name`` is not one of them.
+        """
+        index = self._column_index(name)
         return [row[index] for row in self.rows]
 
     def rows_where(self, name: str, value: Any) -> list[tuple]:
-        index = self.columns.index(name)
+        """Rows whose ``name`` column equals ``value`` (KeyError if absent)."""
+        index = self._column_index(name)
         return [row for row in self.rows if row[index] == value]
 
     def format(self) -> str:

@@ -28,21 +28,36 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` /
     :meth:`Simulator.at` and can be cancelled before they fire.  Cancellation
-    is lazy: the heap entry stays in place and is discarded when popped.
+    is lazy: the heap entry stays in place and is discarded when popped (or
+    swept out wholesale when cancelled entries dominate the calendar — see
+    :meth:`Simulator._note_cancelled`).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_in_heap")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
+        self._in_heap = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None and self._in_heap:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -67,12 +82,17 @@ class Simulator:
     (1.5, ['hello'])
     """
 
+    #: Compaction only kicks in above this many cancelled entries, so tiny
+    #: calendars never pay the heapify cost.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._now = 0.0
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._cancelled = 0  # cancelled events still sitting in the heap
 
     @property
     def now(self) -> float:
@@ -81,8 +101,33 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired (possibly cancelled) events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (not-yet-fired, not-cancelled) events.
+
+        O(1): the kernel tracks how many heap entries are cancelled-but-
+        not-yet-popped instead of scanning the calendar.
+        """
+        return len(self._heap) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`.
+
+        Counts the tombstone and, when more than half the calendar (and at
+        least :data:`COMPACT_MIN_CANCELLED` entries) is dead weight, sweeps
+        the heap: filtering preserves correctness because ``(time, seq)``
+        is a total order, so ``heapify`` rebuilds the exact same event
+        ordering without the tombstones.
+        """
+        self._cancelled += 1
+        if (
+            self._cancelled > self.COMPACT_MIN_CANCELLED
+            and self._cancelled > len(self._heap) // 2
+        ):
+            for event in self._heap:
+                if event.cancelled:
+                    event._in_heap = False
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -98,7 +143,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time}: clock is already at {self._now}"
             )
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, sim=self)
+        event._in_heap = True
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
@@ -121,7 +167,9 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                event._in_heap = False
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
                 self._now = event.time
                 event.fn(*event.args)

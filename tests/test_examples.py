@@ -27,6 +27,7 @@ ALL_EXAMPLES = [
     "flash_crowd_safety",
     "fairness_study",
     "ecn_marking",
+    "parallel_sweep",
 ]
 
 

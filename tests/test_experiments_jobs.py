@@ -1,0 +1,346 @@
+"""The declarative job layer: hashing, executors, caching, parallelism.
+
+The refactor's contract: every figure is ``jobs(scale)`` (pure, picklable
+descriptions) -> executor (serial or process pool, optionally cached) ->
+``reduce(results)`` (pure formatting).  These tests pin the properties
+that make that split safe:
+
+* content hashes are stable across processes and ignore display-only
+  fields, so Figures 4/5 (and 14/15) share cache entries;
+* parallel execution produces byte-identical tables to serial execution;
+* the cache hits on identical work, misses when the config *or* the
+  code-version salt changes, and survives corrupt blobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ALL_FIGURES, EXTENSIONS
+from repro.experiments import fig04_stabilization_time as fig04
+from repro.experiments import fig05_stabilization_cost as fig05
+from repro.experiments import fig14_oscillation_utilization as fig14
+from repro.experiments import fig15_oscillation_droprate as fig15
+from repro.experiments import fig19_iiad_sqrt as fig19
+from repro.experiments import fig20_timeout_models as fig20
+from repro.experiments.cache import MISS, ResultCache, default_salt
+from repro.experiments.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    execute,
+    make_executor,
+)
+from repro.experiments.jobs import DropperSpec, Job, canonical, content_hash, job
+from repro.experiments.protocols import ProtocolSpec, spec_of, tcp, tfrc
+from repro.sim.rng import RngRegistry
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+# Miniature sweeps: enough to exercise every path, cheap enough for CI.
+TINY_CBR = dict(
+    bandwidth_bps=1e6, n_flows=2, warmup_s=2.0, cbr_stop=8.0,
+    cbr_restart=10.0, end=14.0,
+)
+TINY_OSC = dict(
+    bandwidth_bps=1.5e6, min_duration_s=10.0, periods_to_run=3,
+    max_duration_s=12.0, warmup_s=2.0,
+)
+TINY_LOSS = dict(bandwidth_bps=3e6, duration_s=10.0, warmup_s=2.0)
+
+
+def tiny_fig04_jobs():
+    return fig04.jobs(
+        "fast", gammas=[2], families={"TCP(1/g)": lambda g: tcp(g)}, **TINY_CBR
+    )
+
+
+def tiny_fig14_jobs():
+    return fig14.jobs(
+        "fast", on_times=[0.5], protocols=[tcp(2)], n_flows=2, **TINY_OSC
+    )
+
+
+def tiny_fig19_jobs():
+    return fig19.jobs("fast", **TINY_LOSS)
+
+
+class TestContentHash:
+    def test_stable_within_process(self):
+        a = fig20.jobs("fast")
+        b = fig20.jobs("fast")
+        assert [j.content_hash for j in a] == [j.content_hash for j in b]
+
+    def test_stable_across_processes(self):
+        """The hash must not depend on interpreter state (PYTHONHASHSEED)."""
+        expected = fig20.jobs("fast")[0].content_hash
+        script = (
+            "from repro.experiments import fig20_timeout_models as m;"
+            "print(m.jobs('fast')[0].content_hash)"
+        )
+        import os
+
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONPATH=str(SRC), PYTHONHASHSEED=seed)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            )
+            assert out.stdout.strip() == expected
+
+    def test_display_fields_do_not_affect_hash(self):
+        jb = tiny_fig04_jobs()[0]
+        relabelled = replace(jb, figure="zzz", index=99, tags=(("other", 1),))
+        assert relabelled.content_hash == jb.content_hash
+
+    def test_inputs_do_affect_hash(self):
+        jb = tiny_fig04_jobs()[0]
+        assert replace(jb, seed=77).content_hash != jb.content_hash
+        assert replace(jb, scale="paper").content_hash != jb.content_hash
+        assert (
+            replace(jb, config=replace(jb.config, bandwidth_bps=2e6)).content_hash
+            != jb.content_hash
+        )
+        assert (
+            replace(jb, protocol=spec_of(tfrc(6))).content_hash != jb.content_hash
+        )
+
+    def test_fig04_and_fig05_share_the_sweep(self):
+        h4 = [j.content_hash for j in fig04.jobs("fast")]
+        h5 = [j.content_hash for j in fig05.jobs("fast")]
+        assert h4 == h5
+
+    def test_fig14_and_fig15_share_the_sweep(self):
+        h14 = [j.content_hash for j in fig14.jobs("fast")]
+        h15 = [j.content_hash for j in fig15.jobs("fast")]
+        assert h14 == h15
+
+    def test_canonical_rejects_foreign_objects(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            content_hash({"bad": object()})
+
+    def test_canonical_encodes_specs_and_configs(self):
+        desc = canonical(
+            {
+                "proto": spec_of(tcp(8)),
+                "dropper": DropperSpec.count([50, 400]),
+                "seq": (1, 2.5, None, True),
+            }
+        )
+        assert desc["proto"]["__protocol__"]
+        assert desc["dropper"]["__dropper__"] == "count"
+        assert desc["seq"] == [1, 2.5, None, True]
+
+
+class TestJobsContract:
+    @pytest.mark.parametrize(
+        "name,module", sorted({**ALL_FIGURES, **EXTENSIONS}.items())
+    )
+    def test_every_module_defines_the_pipeline(self, name, module):
+        assert callable(module.jobs), name
+        assert callable(module.reduce), name
+        assert callable(module.run), name
+
+    def test_jobs_are_indexed_in_order(self):
+        js = fig20.jobs("fast")
+        assert [j.index for j in js] == list(range(len(js)))
+
+    def test_jobs_are_picklable(self):
+        for jb in tiny_fig04_jobs() + tiny_fig14_jobs() + tiny_fig19_jobs():
+            clone = pickle.loads(pickle.dumps(jb))
+            assert clone == jb
+            assert clone.content_hash == jb.content_hash
+
+    def test_unknown_scenario_named_in_error(self):
+        bad = job("figXX", "not_a_scenario")
+        from repro.experiments.jobs import execute_job
+
+        with pytest.raises(KeyError, match="available"):
+            execute_job(bad)
+
+
+class TestParallelMatchesSerial:
+    """Acceptance: distributing work may not change a single byte."""
+
+    @pytest.mark.parametrize(
+        "label,make_jobs,module",
+        [
+            ("fig04", tiny_fig04_jobs, fig04),
+            ("fig14", tiny_fig14_jobs, fig14),
+            ("fig19", tiny_fig19_jobs, fig19),
+        ],
+    )
+    def test_tables_byte_identical(self, label, make_jobs, module):
+        serial = module.reduce(SerialExecutor().map(make_jobs()))
+        parallel = module.reduce(ParallelExecutor(workers=2).map(make_jobs()))
+        assert parallel.format() == serial.format()
+        assert parallel.rows == serial.rows  # exact floats, not just text
+
+    def test_results_come_back_in_submission_order(self):
+        js = fig20.jobs("fast")
+        results = ParallelExecutor(workers=3).map(js)
+        assert [r.job.index for r in results] == [j.index for j in js]
+
+    def test_make_executor(self):
+        assert isinstance(make_executor(0), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        pool = make_executor(3)
+        assert isinstance(pool, ParallelExecutor)
+        assert pool.workers == 3
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=-1)
+
+    def test_identical_jobs_deduplicated(self):
+        js = fig20.jobs("fast", p_values=[0.1, 0.1, 0.3])
+        executor = SerialExecutor()
+        results = executor.map(js)
+        report = executor.last_report
+        assert report.jobs == 3
+        assert report.computed == 2
+        assert report.deduplicated == 1
+        assert results[0].value == results[1].value
+
+
+class TestResultCache:
+    def test_miss_then_hit_on_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        js = fig20.jobs("fast")
+        executor = SerialExecutor()
+
+        executor.map(js, cache)
+        cold = executor.last_report
+        assert cold.cache_hits == 0 and cold.computed == len(js)
+
+        executor.map(js, cache)
+        warm = executor.last_report
+        assert warm.cache_hits == len(js) and warm.computed == 0
+        assert cache.stats.hits == len(js)
+
+    def test_warm_cache_reproduces_table_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = SerialExecutor()
+        cold = fig19.reduce(executor.map(tiny_fig19_jobs(), cache))
+        warm = fig19.reduce(executor.map(tiny_fig19_jobs(), cache))
+        assert executor.last_report.computed == 0
+        assert warm.format() == cold.format()
+        assert warm.rows == cold.rows
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = SerialExecutor()
+        executor.map(fig20.jobs("fast", p_values=[0.1]), cache)
+        executor.map(fig20.jobs("fast", p_values=[0.2]), cache)
+        assert executor.last_report.cache_hits == 0
+        assert executor.last_report.computed == 1
+
+    def test_salt_change_invalidates(self, tmp_path):
+        js = fig20.jobs("fast", p_values=[0.1])
+        old = ResultCache(tmp_path)  # default code-version salt
+        SerialExecutor().map(js, old)
+        assert old.lookup(js[0]) is not MISS
+
+        upgraded = ResultCache(tmp_path, salt=default_salt() + "-next")
+        assert upgraded.lookup(js[0]) is MISS
+        assert upgraded.stats.misses == 1
+
+    def test_corrupt_blob_is_a_miss_and_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        js = fig20.jobs("fast", p_values=[0.1])
+        SerialExecutor().map(js, cache)
+        blob = tmp_path / cache.key(js[0])[:2] / f"{cache.key(js[0])}.json"
+        assert blob.exists()
+        blob.write_text("{ not json !")
+        assert cache.lookup(js[0]) is MISS
+        executor = SerialExecutor()
+        executor.map(js, cache)
+        assert executor.last_report.computed == 1
+
+    def test_memory_cache_default(self):
+        cache = ResultCache()
+        assert cache.root is None
+        js = fig20.jobs("fast", p_values=[0.3])
+        SerialExecutor().map(js, cache)
+        assert cache.lookup(js[0]) is not MISS
+        assert len(cache) == 1
+        cache.clear()
+        assert cache.lookup(js[0]) is MISS
+
+    def test_store_returns_json_round_trip(self):
+        cache = ResultCache()
+        jb = fig20.jobs("fast", p_values=[0.1])[0]
+        value = {"xs": [1, 2.5], "label": "ok", "none": None}
+        assert cache.store(jb, value) == value
+
+
+class TestExecuteHelper:
+    def test_execute_defaults_to_serial(self):
+        js = fig20.jobs("fast", p_values=[0.1])
+        results = execute(js)
+        assert len(results) == 1 and not results[0].cached
+
+    def test_execute_with_cache_marks_cached(self):
+        cache = ResultCache()
+        js = fig20.jobs("fast", p_values=[0.1])
+        execute(js, None, cache)
+        results = execute(js, None, cache)
+        assert results[0].cached
+
+
+class TestCliParallelAndCache:
+    def test_run_parallel_with_cache_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = ["run", "fig20", "--parallel", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "12 computed, 0 cache hits" in out
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 12 cache hits" in out
+
+    def test_run_no_cache(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig20", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "12 computed, 0 cache hits" in out
+
+
+class TestRngRegistryPickling:
+    def test_round_trip_preserves_mid_sequence_state(self):
+        registry = RngRegistry(42)
+        stream = registry.stream("red")
+        [stream.random() for _ in range(10)]
+
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone == registry
+        assert clone.master_seed == 42
+        assert clone.stream("red").random() == registry.stream("red").random()
+        # Streams first opened after unpickling also agree.
+        assert clone.stream("new").random() == registry.stream("new").random()
+
+
+class TestProtocolSpec:
+    def test_factories_attach_specs(self):
+        spec = spec_of(tfrc(6, conservative=True))
+        assert isinstance(spec, ProtocolSpec)
+        rebuilt = spec.build()
+        assert rebuilt.name == tfrc(6, conservative=True).name
+
+    def test_spec_round_trips_through_pickle(self):
+        spec = spec_of(tcp(8))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            ProtocolSpec.of("quic").build()

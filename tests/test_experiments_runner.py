@@ -47,8 +47,12 @@ class TestTable:
         assert "a note" in table.format()
 
     def test_unknown_column_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(KeyError, match="available columns: name, x, y"):
             self.build().column("zzz")
+
+    def test_unknown_column_in_rows_where_raises(self):
+        with pytest.raises(KeyError, match="available columns"):
+            self.build().rows_where("zzz", 1)
 
     def test_cell_formatting_ranges(self):
         table = Table(title="T", columns=["v"])
@@ -74,3 +78,7 @@ class TestPickConfig:
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):
             pick_config(CbrRestartConfig, "huge")
+
+    def test_unknown_override_names_valid_fields(self):
+        with pytest.raises(TypeError, match="valid fields:.*bandwidth_bps"):
+            pick_config(CbrRestartConfig, "fast", bandwdith_bps=1e6)

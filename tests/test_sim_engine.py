@@ -127,6 +127,59 @@ class TestCancellation:
         assert sim.pending == 1
         assert keep.time == 1.0
 
+    def test_pending_tracks_pops_of_cancelled_events(self):
+        sim = Simulator()
+        fired = []
+        dead = sim.schedule(1.0, fired.append, "dead")
+        sim.schedule(2.0, fired.append, "live")
+        dead.cancel()
+        sim.run(until=1.5)
+        assert fired == []
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["live"]
+        assert sim.pending == 0
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i * 1e-3, lambda: None) for i in range(500)]
+        for event in events[:400]:
+            event.cancel()
+        # The calendar was mostly tombstones, so it must have been swept:
+        # without compaction all 500 entries would still be in the heap.
+        assert sim.pending == 100
+        assert len(sim._heap) < 250
+
+    def test_cancel_after_compaction_does_not_drift_the_counter(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i * 1e-3, lambda: None) for i in range(500)]
+        for event in events[:400]:
+            event.cancel()
+        for event in events[:400]:
+            event.cancel()  # double-cancel swept tombstones: harmless
+        assert sim.pending == 100
+        fired = []
+        for event in events[400:]:
+            event.fn = fired.append
+            event.args = (event.time,)
+        sim.run()
+        assert len(fired) == 100
+        assert fired == sorted(fired)
+        assert sim.pending == 0
+
+    def test_compaction_preserves_event_order(self):
+        sim = Simulator()
+        fired = []
+        live = []
+        for i in range(300):
+            event = sim.schedule(1.0 + i * 1e-3, fired.append, i)
+            if i % 3 == 0:
+                live.append(i)
+            else:
+                event.cancel()
+        sim.run()
+        assert fired == live
+
 
 class TestStop:
     def test_stop_halts_run(self):
