@@ -12,6 +12,14 @@ fans the declarative job sweeps out over N worker processes, and
 ``REPRO_CACHE_DIR=/path`` reuses the on-disk result cache across
 benchmark sessions (by default an in-memory cache shares work only
 within one session, e.g. between Figures 7-9's identical sweeps).
+
+Fault tolerance and telemetry are configured the same way:
+``REPRO_RUN_LOG=/path/run.jsonl`` appends one JSONL provenance record
+per job plus a summary per sweep, ``REPRO_JOB_TIMEOUT=S`` bounds each
+job's wall clock (a stuck worker is killed and the job retried),
+``REPRO_MAX_RETRIES=N`` sets the retry budget, and ``REPRO_FAULT_SPEC``
+injects deterministic faults for smoke-testing the recovery paths (see
+``repro.experiments.faults``).
 """
 
 from __future__ import annotations
@@ -37,7 +45,13 @@ def sweep_cache() -> dict:
 
 @pytest.fixture(scope="session")
 def executor():
-    """Job executor: serial unless ``REPRO_PARALLEL=N`` asks for a pool."""
+    """Job executor: serial unless ``REPRO_PARALLEL=N`` asks for a pool.
+
+    ``make_executor`` also reads ``REPRO_RUN_LOG``, ``REPRO_JOB_TIMEOUT``,
+    ``REPRO_MAX_RETRIES`` and ``REPRO_FAULT_SPEC`` from the environment,
+    so benchmark sessions get run telemetry and fault tolerance without
+    any per-test plumbing.
+    """
     from repro.experiments.executor import make_executor
 
     return make_executor(int(os.environ.get("REPRO_PARALLEL", "0") or 0))

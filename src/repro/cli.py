@@ -10,6 +10,7 @@ Usage::
     python -m repro run all --parallel 4      # fan jobs out over 4 processes
     python -m repro run all --no-cache        # force fresh simulations
     python -m repro run all --cache-dir /tmp/repro-cache
+    python -m repro run all --run-log run.jsonl --job-timeout 600
 
 Results are cached on disk (``~/.cache/repro`` by default, see
 ``--cache-dir``) keyed by the content hash of each job plus a
@@ -17,6 +18,14 @@ code-version salt, so a warm second run replays from the cache without
 simulating anything.  Parallel runs produce byte-identical tables to
 serial runs: every job carries its own seed and results are re-ordered
 by job index before reduction.
+
+Parallel runs are fault-tolerant: a crashed worker breaks only its own
+slot (the job is retried on a rebuilt pool), stuck jobs can be bounded
+with ``--job-timeout``, failing jobs retry up to ``--max-retries`` times,
+and completed results always reach the cache before any failure
+propagates.  ``--run-log PATH`` appends one JSONL provenance record per
+job (content hash, attempts, worker pid, wall time) plus a summary per
+figure — see ``docs/experiments.md``.
 """
 
 from __future__ import annotations
@@ -115,6 +124,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help=f"result cache directory (default: {default_cache_dir()})",
     )
+    run_parser.add_argument(
+        "--run-log",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="append one JSONL provenance record per job (plus a summary "
+        "per figure) to PATH; also honors REPRO_RUN_LOG",
+    )
+    run_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout for parallel runs; a stuck worker "
+        "is killed and the job retried (also honors REPRO_JOB_TIMEOUT)",
+    )
+    run_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded retry budget for failing jobs (default: 2; also "
+        "honors REPRO_MAX_RETRIES)",
+    )
     args = parser.parse_args(argv)
 
     runnable = {**ALL_FIGURES, **EXTENSIONS}
@@ -132,7 +165,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"available: {', '.join(runnable)}", file=sys.stderr)
         return 2
 
-    executor = make_executor(args.parallel)
+    executor = make_executor(
+        args.parallel,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+        run_log=args.run_log,
+    )
     cache = (
         ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
         if args.cache
@@ -140,6 +178,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     total_jobs = total_computed = total_hits = total_dedup = 0
+    total_retries = total_timeouts = total_rebuilds = 0
+    any_degraded = False
     for name in names:
         started = time.time()
         module = runnable[name]
@@ -151,11 +191,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         total_computed += report.computed
         total_hits += report.cache_hits
         total_dedup += report.deduplicated
+        total_retries += report.retries
+        total_timeouts += report.timeouts
+        total_rebuilds += report.pool_rebuilds
+        any_degraded = any_degraded or report.degraded
         print(table.format())
         print(
             f"[{name} completed in {elapsed:.1f}s at scale={args.scale}: "
             f"{report.jobs} jobs, {report.computed} computed, "
-            f"{report.cache_hits} cache hits, {report.deduplicated} deduplicated]"
+            f"{report.cache_hits} cache hits, "
+            f"{report.deduplicated} deduplicated{_report_extras(report)}]"
         )
         if args.chart:
             chart = _figure_chart(name, table)
@@ -168,9 +213,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
     if len(names) > 1:
         where = "off" if cache is None else str(cache.root or "memory")
+        extras = ""
+        if total_retries:
+            extras += f", {total_retries} retried"
+        if total_timeouts:
+            extras += f", {total_timeouts} timed out"
+        if total_rebuilds:
+            extras += f", {total_rebuilds} pool rebuilds"
+        if any_degraded:
+            extras += ", degraded to serial"
         print(
             f"[total: {total_jobs} jobs, {total_computed} computed, "
-            f"{total_hits} cache hits, {total_dedup} deduplicated; "
+            f"{total_hits} cache hits, {total_dedup} deduplicated{extras}; "
             f"cache={where}, workers={executor.workers}]"
         )
     return 0
+
+
+def _report_extras(report) -> str:
+    """Fault-tolerance accounting, shown only when something happened."""
+    extras = ""
+    if report.retries:
+        extras += f", {report.retries} retried"
+    if report.timeouts:
+        extras += f", {report.timeouts} timed out"
+    if report.pool_rebuilds:
+        extras += f", {report.pool_rebuilds} pool rebuilds"
+    if report.degraded:
+        extras += ", degraded to serial"
+    if report.failures:
+        extras += f", {report.failures} failed"
+    return extras

@@ -35,6 +35,7 @@ from repro.experiments import (
 )
 from repro.experiments.cache import CacheStats, ResultCache, default_cache_dir
 from repro.experiments.executor import (
+    ExecutionError,
     ExecutionReport,
     Executor,
     JobResult,
@@ -43,7 +44,9 @@ from repro.experiments.executor import (
     execute,
     make_executor,
 )
+from repro.experiments.faults import FaultSpec, InjectedFault
 from repro.experiments.jobs import DropperSpec, Job, execute_job, job
+from repro.experiments.runlog import RunLog
 from repro.experiments.protocols import (
     Protocol,
     ProtocolSpec,
@@ -113,8 +116,11 @@ __all__ = [
     "DoublingConfig",
     "DoublingResult",
     "DropperSpec",
+    "ExecutionError",
     "ExecutionReport",
     "Executor",
+    "FaultSpec",
+    "InjectedFault",
     "FlashCrowdConfig",
     "FlashCrowdResult",
     "Job",
@@ -127,6 +133,7 @@ __all__ = [
     "Protocol",
     "ProtocolSpec",
     "ResultCache",
+    "RunLog",
     "SerialExecutor",
     "Table",
     "default_cache_dir",

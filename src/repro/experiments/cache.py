@@ -22,6 +22,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from dataclasses import dataclass
 from typing import Any, Optional, Union
 
@@ -168,7 +169,13 @@ class ResultCache:
     # -- maintenance --------------------------------------------------------
 
     def clear(self) -> int:
-        """Drop every entry; returns how many were removed."""
+        """Drop every entry; returns how many entries were removed.
+
+        Also sweeps orphaned ``*.tmp`` files (left behind if a write was
+        interrupted between ``mkstemp`` and ``os.replace``) and removes
+        shard directories once they are empty, so litter never
+        accumulates.  Swept tmp files do not count as removed entries.
+        """
         if self.root is None:
             count = len(self._memory)
             self._memory.clear()
@@ -181,14 +188,56 @@ class ResultCache:
                     count += 1
                 except OSError:
                     pass
+            for leftover in self.root.glob("*/*.tmp"):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+            self._remove_empty_shards()
         return count
 
+    def prune(self, max_age_s: float = 86400.0) -> int:
+        """Remove stale ``*.tmp`` litter older than ``max_age_s`` seconds.
+
+        Interrupted writes (crashed or killed processes) can strand temp
+        files beside the blobs; recent ones may belong to a concurrent
+        writer mid-store, so only files older than the threshold are
+        swept.  Empty shard directories are removed too.  Returns the
+        number of tmp files deleted.  No-op for in-memory caches.
+        """
+        if self.root is None or not self.root.exists():
+            return 0
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for leftover in self.root.glob("*/*.tmp"):
+            try:
+                if leftover.stat().st_mtime <= cutoff:
+                    leftover.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        self._remove_empty_shards()
+        return removed
+
+    def _remove_empty_shards(self) -> None:
+        """Drop shard subdirectories that no longer hold any files."""
+        assert self.root is not None
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+
     def __len__(self) -> int:
+        """Number of stored entries; tmp litter is never counted."""
         if self.root is None:
             return len(self._memory)
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1 for blob in self.root.glob("*/*.json") if blob.suffix == ".json"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = str(self.root) if self.root is not None else "memory"

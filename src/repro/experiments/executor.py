@@ -1,4 +1,4 @@
-"""Deterministic job executors: serial, and process-pool parallel.
+"""Fault-tolerant, observable job executors: serial, and process-pool parallel.
 
 Executors take a list of :class:`~repro.experiments.jobs.Job` and return
 :class:`JobResult` objects **in job order**, regardless of completion
@@ -9,26 +9,59 @@ The execution pipeline, shared by all executors:
 1. answer what it can from the (optional) content-addressed cache;
 2. deduplicate the remaining jobs by content hash (two figures asking for
    the same simulation point compute it once);
-3. run the unique misses — serially or across worker processes;
-4. store fresh results back into the cache and fan them out to every
-   position that asked for them.
+3. run the unique misses — serially, or across isolated single-worker
+   process pools — storing each result into the cache *the moment it
+   completes*;
+4. fan results out to every position that asked for them.
 
 Because every job is a pure, seeded description, workers need no shared
 state: determinism is preserved by construction, and results are keyed by
-submission position rather than completion time.
+submission position rather than completion time.  That same purity makes
+retries safe — re-running a job can only reproduce the identical payload.
+
+Fault tolerance (the parallel executor):
+
+* each worker is its **own** single-process pool, so one crashed worker
+  (``BrokenProcessPool``) takes down exactly one in-flight job — the
+  slot's pool is rebuilt (with backoff) and the job retried, while every
+  other worker keeps computing;
+* ordinary exceptions and per-job timeouts (``job_timeout``) are retried
+  up to ``max_retries`` times with exponential backoff; a stuck worker is
+  terminated and its slot respawned;
+* when the pool is irrecoverable (the rebuild budget is exhausted), the
+  executor **degrades to in-process serial execution** for the remaining
+  jobs rather than failing the run;
+* completed results always flow into the cache *before* any failure
+  propagates, so no simulation is ever computed twice — a rerun after a
+  hard failure answers the salvaged jobs from the cache.
+
+Observability: :attr:`Executor.last_report` carries full accounting for
+the last ``map`` call (retries, failures, timeouts, salvaged results,
+pool rebuilds, degradation, per-stage wall-clock), and an optional
+:class:`~repro.experiments.runlog.RunLog` records one JSONL event per
+job (content hash, status, attempts, worker pid, wall time) plus a
+summary per batch.  Deterministic fault injection for all of the above
+lives in :mod:`repro.experiments.faults`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.experiments.cache import MISS, ResultCache
+from repro.experiments.faults import FaultSpec
 from repro.experiments.jobs import Job, execute_job
+from repro.experiments.runlog import RunLog
 
 __all__ = [
+    "ExecutionError",
+    "ExecutionReport",
     "Executor",
     "JobResult",
     "ParallelExecutor",
@@ -36,6 +69,21 @@ __all__ = [
     "execute",
     "make_executor",
 ]
+
+#: Default bounded-retry budget for failing (not crashing-pool) jobs.
+DEFAULT_MAX_RETRIES = 2
+#: Base of the exponential retry backoff, in seconds.
+DEFAULT_BACKOFF_S = 0.05
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else None
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else None
 
 
 @dataclass
@@ -49,29 +97,133 @@ class JobResult:
 
 @dataclass
 class ExecutionReport:
-    """Accounting for one ``map`` call (surfaced by the CLI)."""
+    """Accounting for one ``map`` call (surfaced by the CLI and run log)."""
 
     jobs: int = 0
     computed: int = 0
     cache_hits: int = 0
     deduplicated: int = 0
+    # -- fault tolerance ----------------------------------------------------
+    retries: int = 0  # re-executions after an error/crash/timeout
+    failures: int = 0  # jobs that exhausted their retry budget
+    timeouts: int = 0  # per-job timeouts that fired
+    salvaged: int = 0  # results completed+cached before a failure/degrade
+    pool_rebuilds: int = 0  # worker pools rebuilt after a crash/stall
+    degraded: bool = False  # fell back to in-process serial execution
+    # -- per-stage wall-clock, seconds --------------------------------------
+    lookup_s: float = 0.0  # stage 1: cache lookups
+    execute_s: float = 0.0  # stage 2/3: compute + store
+    store_s: float = 0.0  # portion of execute_s spent persisting results
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "deduplicated": self.deduplicated,
+            "retries": self.retries,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "salvaged": self.salvaged,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded": self.degraded,
+            "lookup_s": round(self.lookup_s, 6),
+            "execute_s": round(self.execute_s, 6),
+            "store_s": round(self.store_s, 6),
+        }
+
+
+class ExecutionError(RuntimeError):
+    """A job exhausted its retry budget; completed results were salvaged.
+
+    By the time this propagates, every result that *did* complete has
+    already been stored into the cache (see ``ExecutionReport.salvaged``),
+    so a rerun never recomputes them.
+    """
+
+    def __init__(self, message: str, *, job: Optional[Job] = None, attempts: int = 0):
+        super().__init__(message)
+        self.job = job
+        self.attempts = attempts
+
+
+def _pool_run(
+    jb: Job, position: int, attempt: int, fault_text: Optional[str]
+) -> tuple[Any, int]:
+    """Worker-side entry point: run one job, report the worker pid.
+
+    Fault injection (:mod:`repro.experiments.faults`) is bound here —
+    inside the worker process — so a ``crash`` fault can only ever kill a
+    worker, never the coordinating process.
+    """
+    fault = None
+    if fault_text:
+        spec = FaultSpec.parse(fault_text)
+        if spec is not None:
+            fault = spec.bind(position, attempt)
+    return execute_job(jb, fault=fault), os.getpid()
 
 
 class Executor:
-    """Base executor: caching, dedup and ordering; subclasses run batches."""
+    """Base executor: caching, dedup, ordering, retries and telemetry.
+
+    Subclasses implement :meth:`_execute`, which runs the deduplicated
+    batch and reports each completion through a callback — streaming, so
+    completed results reach the cache even if a later job fails.
+    """
 
     workers: int = 1
+    #: Declared on the class and initialized in ``__init__`` so it is
+    #: always readable, even before the first ``map`` call.
+    last_report: ExecutionReport
+
+    def __init__(
+        self,
+        *,
+        job_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        backoff_s: Optional[float] = None,
+        run_log: Union[RunLog, str, os.PathLike, None] = None,
+        fault: Optional[str] = None,
+    ):
+        self.job_timeout = (
+            job_timeout if job_timeout is not None else _env_float("REPRO_JOB_TIMEOUT")
+        )
+        env_retries = _env_int("REPRO_MAX_RETRIES")
+        self.max_retries = (
+            max_retries
+            if max_retries is not None
+            else (env_retries if env_retries is not None else DEFAULT_MAX_RETRIES)
+        )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        self.backoff_s = backoff_s if backoff_s is not None else DEFAULT_BACKOFF_S
+        if run_log is None:
+            env_log = os.environ.get("REPRO_RUN_LOG", "").strip()
+            run_log = env_log or None
+        self.run_log = (
+            run_log if isinstance(run_log, RunLog) or run_log is None else RunLog(run_log)
+        )
+        fault_text = fault if fault is not None else os.environ.get("REPRO_FAULT_SPEC")
+        FaultSpec.parse(fault_text)  # validate eagerly: fail fast on typos
+        self._fault_text = (fault_text or "").strip() or None
+        self.last_report = ExecutionReport()
+        self._completed_count = 0  # per-map scratch, read by degrade/salvage
+
+    # -- the pipeline -------------------------------------------------------
 
     def map(
         self, jobs: Sequence[Job], cache: Optional[ResultCache] = None
     ) -> list[JobResult]:
         """Execute ``jobs``; results come back in submission order."""
         jobs = list(jobs)
-        self.last_report = ExecutionReport(jobs=len(jobs))
+        report = self.last_report = ExecutionReport(jobs=len(jobs))
+        self._completed_count = 0
         values: list[Any] = [MISS] * len(jobs)
         cached = [False] * len(jobs)
 
         # Stage 1: cache lookups, in submission order.
+        lookup_started = time.monotonic()
         pending: dict[str, list[int]] = {}
         for i, jb in enumerate(jobs):
             if cache is not None:
@@ -79,31 +231,165 @@ class Executor:
                 if hit is not MISS:
                     values[i] = hit
                     cached[i] = True
-                    self.last_report.cache_hits += 1
+                    report.cache_hits += 1
+                    self._log_job(jb, status="cached", attempts=0)
                     continue
             pending.setdefault(jb.content_hash, []).append(i)
+        report.lookup_s = time.monotonic() - lookup_started
 
         # Stage 2: dedup identical misses, run each unique job once.
         unique = [(digest, jobs[where[0]]) for digest, where in pending.items()]
-        self.last_report.deduplicated = sum(
-            len(where) - 1 for where in pending.values()
-        )
-        self.last_report.computed = len(unique)
-        computed = self._run_batch([jb for _, jb in unique])
+        report.deduplicated = sum(len(where) - 1 for where in pending.values())
+        report.computed = len(unique)
+        outcomes: dict[int, Any] = {}
 
-        # Stage 3: store and fan out, preserving submission order.
-        for (digest, jb), value in zip(unique, computed):
+        def complete(
+            pos: int,
+            value: Any,
+            *,
+            attempts: int,
+            worker_pid: Optional[int],
+            wall_s: float,
+            degraded: bool = False,
+            timed_out: bool = False,
+        ) -> None:
+            # Store immediately — salvage: a later failure cannot discard
+            # this result, and a rerun will answer it from the cache.
+            _, jb = unique[pos]
             if cache is not None:
+                store_started = time.monotonic()
                 value = cache.store(jb, value)
-            for i in pending[digest]:
+                report.store_s += time.monotonic() - store_started
+            outcomes[pos] = value
+            self._completed_count = len(outcomes)
+            self._log_job(
+                jb,
+                status="computed",
+                attempts=attempts,
+                worker_pid=worker_pid,
+                wall_s=wall_s,
+                retried=attempts > 1,
+                degraded=degraded,
+                timed_out=timed_out,
+            )
+
+        execute_started = time.monotonic()
+        try:
+            self._execute([jb for _, jb in unique], complete)
+        except Exception:
+            report.salvaged = len(outcomes)
+            raise
+        finally:
+            report.execute_s = time.monotonic() - execute_started
+            self._log_map(report)
+
+        # Stage 3: fan out, preserving submission order.
+        for pos, (digest, jb) in enumerate(unique):
+            value = outcomes[pos]
+            where = pending[digest]
+            for i in where:
                 values[i] = value
+            for i in where[1:]:
+                self._log_job(jobs[i], status="deduplicated", attempts=0)
         return [
             JobResult(job=jb, value=value, cached=was_cached)
             for jb, value, was_cached in zip(jobs, values, cached)
         ]
 
-    def _run_batch(self, jobs: Sequence[Job]) -> list[Any]:
+    def _execute(self, jobs: Sequence[Job], complete: Callable) -> None:
+        """Run the deduplicated batch; call ``complete(pos, value, ...)``
+        for each job as it finishes.  Subclass responsibility."""
         raise NotImplementedError
+
+    # -- shared in-process execution with bounded retries --------------------
+
+    def _run_in_process(
+        self,
+        pos: int,
+        jb: Job,
+        complete: Callable,
+        *,
+        start_attempt: int = 1,
+        degraded: bool = False,
+    ) -> None:
+        """Execute one job here, retrying ordinary exceptions with backoff.
+
+        Fault injection never applies in-process (a ``crash`` fault must
+        not be able to kill the coordinating process), so this is also
+        the safe fallback used after pool degradation.
+        """
+        attempt = start_attempt
+        while True:
+            started = time.monotonic()
+            try:
+                value = execute_job(jb)
+            except Exception as exc:
+                if attempt - start_attempt < self.max_retries:
+                    self.last_report.retries += 1
+                    time.sleep(self.backoff_s * (2 ** (attempt - start_attempt)))
+                    attempt += 1
+                    continue
+                self.last_report.failures += 1
+                self._log_job(
+                    jb,
+                    status="failed",
+                    attempts=attempt,
+                    degraded=degraded,
+                    error=repr(exc),
+                )
+                raise ExecutionError(
+                    f"job {jb!r} failed after {attempt} attempt(s): {exc!r}",
+                    job=jb,
+                    attempts=attempt,
+                ) from exc
+            complete(
+                pos,
+                value,
+                attempts=attempt,
+                worker_pid=os.getpid(),
+                wall_s=time.monotonic() - started,
+                degraded=degraded,
+            )
+            return
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _log_job(
+        self,
+        jb: Job,
+        *,
+        status: str,
+        attempts: int,
+        worker_pid: Optional[int] = None,
+        wall_s: float = 0.0,
+        retried: bool = False,
+        degraded: bool = False,
+        timed_out: bool = False,
+        error: Optional[str] = None,
+    ) -> None:
+        if self.run_log is None:
+            return
+        record = {
+            "event": "job",
+            "figure": jb.figure,
+            "index": jb.index,
+            "hash": jb.content_hash,
+            "status": status,
+            "attempts": attempts,
+            "retried": retried,
+            "timed_out": timed_out,
+            "degraded": degraded,
+            "worker_pid": worker_pid,
+            "wall_s": round(wall_s, 6),
+        }
+        if error is not None:
+            record["error"] = error
+        self.run_log.record(**record)
+
+    def _log_map(self, report: ExecutionReport) -> None:
+        if self.run_log is None:
+            return
+        self.run_log.record(event="map", workers=self.workers, **report.as_dict())
 
 
 class SerialExecutor(Executor):
@@ -111,36 +397,278 @@ class SerialExecutor(Executor):
 
     workers = 1
 
-    def _run_batch(self, jobs: Sequence[Job]) -> list[Any]:
-        return [execute_job(jb) for jb in jobs]
+    def _execute(self, jobs: Sequence[Job], complete: Callable) -> None:
+        for pos, jb in enumerate(jobs):
+            self._run_in_process(pos, jb, complete)
+
+
+class _Slot:
+    """One isolated worker: a single-process pool plus its in-flight job.
+
+    Worker isolation is what makes failure attribution exact: a crashed
+    process breaks only its own pool, so exactly the job it was running
+    is retried — every other worker keeps its work.
+    """
+
+    __slots__ = ("pool", "item", "future", "started", "alive")
+
+    def __init__(self, pool: Optional[ProcessPoolExecutor]):
+        self.pool = pool
+        self.item: Optional[tuple[int, Job, int]] = None  # (pos, job, attempt)
+        self.future: Optional[Future] = None
+        self.started = 0.0
+        self.alive = pool is not None
 
 
 class ParallelExecutor(Executor):
-    """Run jobs across a pool of worker processes.
+    """Run jobs across isolated single-process worker pools.
 
-    Jobs and payloads are picklable by contract, and every job carries its
-    own seed, so distributing work cannot change any result — only the
-    wall-clock time.  ``pool.map`` over the (deduplicated) job list keys
-    results by submission position, so ordering is deterministic too.
+    Jobs and payloads are picklable by contract, and every job carries
+    its own seed, so distributing (or retrying) work cannot change any
+    result — only the wall-clock time.  Results are keyed by submission
+    position, so ordering is deterministic too.
+
+    ``workers=0`` is rejected: zero explicitly means "serial" at the
+    :func:`make_executor` level, and silently promoting it to a
+    cpu-count-sized pool (as older versions did) contradicted both.
     """
 
-    def __init__(self, workers: Optional[int] = None):
-        self.workers = workers if workers else (os.cpu_count() or 2)
-        if self.workers < 1:
-            raise ValueError(f"need at least one worker, got {workers}")
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        max_pool_rebuilds: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if workers is None:
+            workers = os.cpu_count() or 2
+        if workers < 1:
+            raise ValueError(
+                f"need at least one worker, got {workers}; "
+                "use make_executor(0) or SerialExecutor() for serial execution"
+            )
+        self.workers = workers
+        self.max_pool_rebuilds = (
+            max_pool_rebuilds if max_pool_rebuilds is not None else workers + 2
+        )
+        self._rebuilds_used = 0
 
-    def _run_batch(self, jobs: Sequence[Job]) -> list[Any]:
-        if len(jobs) <= 1 or self.workers == 1:
-            return [execute_job(jb) for jb in jobs]
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(jobs))) as pool:
-            return list(pool.map(execute_job, jobs, chunksize=1))
+    # -- pool plumbing ------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=1)
+
+    def _kill_pool(self, pool: Optional[ProcessPoolExecutor]) -> None:
+        """Tear a pool down without waiting on a possibly-stuck worker."""
+        if pool is None:
+            return
+        try:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _respawn_or_retire(self, slot: _Slot) -> None:
+        """Rebuild a slot's pool after a crash/stall, within budget."""
+        self._kill_pool(slot.pool)
+        slot.pool = None
+        slot.alive = False
+        if self._rebuilds_used >= self.max_pool_rebuilds:
+            return  # budget exhausted: the slot stays dead
+        self._rebuilds_used += 1
+        self.last_report.pool_rebuilds += 1
+        time.sleep(self.backoff_s)
+        try:
+            slot.pool = self._new_pool()
+            slot.alive = True
+        except Exception:
+            slot.pool = None
+            slot.alive = False
+
+    # -- the scheduler loop -------------------------------------------------
+
+    def _execute(self, jobs: Sequence[Job], complete: Callable) -> None:
+        if not jobs:
+            return
+        if (
+            self._fault_text is None
+            and self.job_timeout is None
+            and (self.workers == 1 or len(jobs) <= 1)
+        ):
+            # Nothing to inject or time out, and no real parallelism to
+            # gain: the pool buys no isolation worth its startup cost.
+            for pos, jb in enumerate(jobs):
+                self._run_in_process(pos, jb, complete)
+            return
+
+        self._rebuilds_used = 0
+        queue: deque[tuple[int, Job, int]] = deque(
+            (pos, jb, 1) for pos, jb in enumerate(jobs)
+        )
+        slots = [_Slot(self._new_pool()) for _ in range(min(self.workers, len(jobs)))]
+        try:
+            while queue or any(slot.item is not None for slot in slots):
+                for slot in slots:
+                    if slot.alive and slot.item is None and queue:
+                        self._submit(slot, queue)
+                busy = [slot for slot in slots if slot.item is not None]
+                if not busy:
+                    if queue and not any(slot.alive for slot in slots):
+                        # Pool irrecoverable: degrade to in-process serial.
+                        self._degrade(queue, complete)
+                        return
+                    continue  # a submit just failed; loop re-fills
+                waitmap = {slot.future: slot for slot in busy}
+                timeout = None
+                if self.job_timeout is not None:
+                    deadline = min(slot.started for slot in busy) + self.job_timeout
+                    timeout = max(0.0, deadline - time.monotonic())
+                done, _ = wait(
+                    list(waitmap), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                for future in done:
+                    self._harvest(waitmap[future], queue, complete, now)
+                if self.job_timeout is not None:
+                    for slot in busy:
+                        if (
+                            slot.item is not None
+                            and slot.future is not None
+                            and not slot.future.done()
+                            and now - slot.started >= self.job_timeout
+                        ):
+                            self._expire(slot, queue)
+        finally:
+            for slot in slots:
+                self._kill_pool(slot.pool)
+                slot.pool = None
+
+    def _submit(self, slot: _Slot, queue: deque) -> None:
+        pos, jb, attempt = queue.popleft()
+        try:
+            future = slot.pool.submit(_pool_run, jb, pos, attempt, self._fault_text)
+        except Exception:
+            # The pool died between harvest and submit: put the job back
+            # untouched (it never ran) and rebuild or retire the slot.
+            queue.appendleft((pos, jb, attempt))
+            self._respawn_or_retire(slot)
+            return
+        slot.item = (pos, jb, attempt)
+        slot.future = future
+        slot.started = time.monotonic()
+
+    def _harvest(self, slot: _Slot, queue: deque, complete: Callable, now: float) -> None:
+        pos, jb, attempt = slot.item
+        wall_s = now - slot.started
+        future, slot.item, slot.future = slot.future, None, None
+        try:
+            value, worker_pid = future.result()
+        except BrokenProcessPool:
+            # Exactly this slot's job was lost; rebuild the slot (within
+            # budget) and retry the job.  Crash retries are bounded by the
+            # rebuild budget, not max_retries: when the budget runs out
+            # every slot dies and the scheduler degrades to serial.
+            self.last_report.retries += 1
+            queue.appendleft((pos, jb, attempt + 1))
+            self._respawn_or_retire(slot)
+        except Exception as exc:
+            self._retry_or_fail(queue, pos, jb, attempt, exc)
+        else:
+            complete(
+                pos, value, attempts=attempt, worker_pid=worker_pid, wall_s=wall_s
+            )
+
+    def _expire(self, slot: _Slot, queue: deque) -> None:
+        """A job outlived ``job_timeout``: kill its worker, retry or fail."""
+        pos, jb, attempt = slot.item
+        slot.item = None
+        slot.future = None
+        self.last_report.timeouts += 1
+        self._respawn_or_retire(slot)
+        self._retry_or_fail(
+            queue,
+            pos,
+            jb,
+            attempt,
+            TimeoutError(f"job exceeded --job-timeout={self.job_timeout}s"),
+            timed_out=True,
+        )
+
+    def _retry_or_fail(
+        self,
+        queue: deque,
+        pos: int,
+        jb: Job,
+        attempt: int,
+        exc: BaseException,
+        *,
+        timed_out: bool = False,
+    ) -> None:
+        if attempt <= self.max_retries:
+            self.last_report.retries += 1
+            time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            queue.append((pos, jb, attempt + 1))
+            return
+        self.last_report.failures += 1
+        self._log_job(
+            jb,
+            status="failed",
+            attempts=attempt,
+            timed_out=timed_out,
+            error=repr(exc),
+        )
+        raise ExecutionError(
+            f"job {jb!r} failed after {attempt} attempt(s): {exc!r}",
+            job=jb,
+            attempts=attempt,
+        ) from exc
+
+    def _degrade(self, queue: deque, complete: Callable) -> None:
+        """Pool irrecoverable: finish the remaining jobs in-process.
+
+        Results completed by the pool before degradation are counted as
+        salvaged — they are already in the cache and are not recomputed.
+        """
+        self.last_report.degraded = True
+        self.last_report.salvaged = self._completed_count
+        while queue:
+            pos, jb, attempt = queue.popleft()
+            self._run_in_process(
+                pos, jb, complete, start_attempt=attempt, degraded=True
+            )
 
 
-def make_executor(parallel: int = 0) -> Executor:
-    """``parallel <= 1`` gives the serial executor, else a process pool."""
+def make_executor(
+    parallel: int = 0,
+    *,
+    job_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    backoff_s: Optional[float] = None,
+    run_log: Union[RunLog, str, os.PathLike, None] = None,
+    fault: Optional[str] = None,
+) -> Executor:
+    """``parallel <= 1`` gives the serial executor, else a process pool.
+
+    Keyword arguments default from the environment (``REPRO_JOB_TIMEOUT``,
+    ``REPRO_MAX_RETRIES``, ``REPRO_RUN_LOG``, ``REPRO_FAULT_SPEC``) so the
+    benchmark harness and CI smoke jobs can configure fault tolerance and
+    telemetry without touching call sites.
+    """
+    kwargs = dict(
+        job_timeout=job_timeout,
+        max_retries=max_retries,
+        backoff_s=backoff_s,
+        run_log=run_log,
+        fault=fault,
+    )
     if parallel and parallel > 1:
-        return ParallelExecutor(parallel)
-    return SerialExecutor()
+        return ParallelExecutor(parallel, **kwargs)
+    return SerialExecutor(**kwargs)
 
 
 def execute(

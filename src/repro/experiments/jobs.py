@@ -265,12 +265,21 @@ def scenario(name: str) -> Callable:
     return register
 
 
-def execute_job(jb: Job) -> Any:
+def execute_job(jb: Job, fault: Optional[Callable[[Job], None]] = None) -> Any:
     """Run one job and return its JSON-native payload.
 
     This is the function worker processes execute; it is importable at
     module top level so jobs can be dispatched through a process pool.
+
+    ``fault`` is an optional deterministic fault-injection hook (see
+    :mod:`repro.experiments.faults`): it is called with the job before
+    the scenario runs and may raise, stall or kill the process, letting
+    tests prove the executor's retry/timeout/degradation paths produce
+    byte-identical results to a clean run.  Executors only pass a fault
+    to pool workers, never to in-process execution.
     """
+    if fault is not None:
+        fault(jb)
     try:
         fn = SCENARIOS[jb.scenario]
     except KeyError:

@@ -72,8 +72,10 @@ class REDQueue(QueueDiscipline):
         self.gentle = gentle
         self._rng = rng if rng is not None else random.Random(0)
         self._mean_pkt_time = mean_packet_size * 8.0 / bandwidth_bps
-        # With ECN marking (RFC 2481), early "drops" of ECN-capable packets
-        # become Congestion Experienced marks and the packet is enqueued.
+        # With ECN marking (RFC 3168), early "drops" of ECN-capable packets
+        # become Congestion Experienced marks and the packet is enqueued —
+        # but only while the average queue is in the marking region
+        # (below max_thresh); beyond it, ECN packets drop like any other.
         self.ecn_marking = ecn_marking
         self.marks = 0
         self.avg = 0.0
@@ -107,8 +109,17 @@ class REDQueue(QueueDiscipline):
 
         Returns True when the packet should be dropped; False when it was
         marked (or nothing needed doing) and should be admitted.
+
+        Per RFC 3168 §7 (and ns-2's RED), marking substitutes for drops
+        only in the probabilistic region, while the average queue sits
+        between the thresholds.  Once the average exceeds ``max_thresh``
+        — the gentle ramp and the forced-drop region — the queue is
+        past the point where marks alone can relieve congestion, so even
+        ECN-capable packets are dropped.  Without this, a saturated ECN
+        flow would never lose a packet short of physical overflow and
+        the average queue could pin above the marking region forever.
         """
-        if self.ecn_marking and packet.ect:
+        if self.ecn_marking and packet.ect and self.avg < self.max_thresh:
             packet.ce = True
             self.marks += 1
             on_mark = getattr(self.observer, "on_mark", None)

@@ -25,11 +25,19 @@ class TestEcnQueue:
     def data(self, ect=True):
         return Packet(0, DATA, 0, 1000, 0, 1, ect=ect)
 
+    class _AlwaysDrop:
+        """An rng whose coin always fires, making early drops certain."""
+
+        def random(self) -> float:
+            return 0.0
+
     def test_ect_packet_marked_not_dropped(self):
+        # In the probabilistic marking region (min_thresh <= avg <
+        # max_thresh), an ECT packet is marked CE and admitted instead of
+        # dropped (RFC 3168 §7).
         q = self.make_red()
-        # Deep in the certain-drop region (avg >= 2 * max_thresh): an ECT
-        # packet is marked CE and admitted instead of dropped.
-        q.avg = 40.0
+        q._rng = self._AlwaysDrop()
+        q.avg = 14.0  # marking region; weight keeps it there after update
         packet = self.data(ect=True)
         admitted = q.enqueue(packet)
         assert admitted
@@ -38,10 +46,49 @@ class TestEcnQueue:
 
     def test_non_ect_packet_still_dropped(self):
         q = self.make_red()
-        q.avg = 40.0  # gentle region beyond 2*max_thresh: certain drop
+        q._rng = self._AlwaysDrop()
+        q.avg = 14.0  # marking region, but the packet is not ECN-capable
         packet = self.data(ect=False)
         assert not q.enqueue(packet)
         assert not packet.ce
+
+    def test_forced_drop_region_drops_even_ect(self):
+        # RFC 3168 §7 / ns-2 RED: marking substitutes for drops only
+        # between the thresholds; once the average exceeds max_thresh the
+        # queue drops, ECN-capable or not.  (Previously ECT packets were
+        # marked here, so a saturated ECN flow could never lose a packet
+        # short of physical overflow.)
+        q = self.make_red()
+        q.avg = 40.0  # beyond 2 * max_thresh: certain drop
+        packet = self.data(ect=True)
+        assert not q.enqueue(packet)
+        assert not packet.ce
+        assert q.marks == 0
+
+    def test_gentle_region_drops_ect_too(self):
+        q = self.make_red()
+        q._rng = self._AlwaysDrop()
+        q.avg = 22.0  # gentle ramp: max_thresh < avg < 2 * max_thresh
+        packet = self.data(ect=True)
+        assert not q.enqueue(packet)
+        assert not packet.ce
+
+    def test_saturated_ecn_flow_still_sees_drops(self):
+        # Regression: flood an ECN-marking RED queue with ECT packets and
+        # never drain it.  The average climbs through the marking region
+        # (producing marks) and past max_thresh, where drops must resume
+        # even though every packet is ECN-capable.
+        q = self.make_red()
+        q.weight = 0.5  # track the instantaneous queue quickly
+        dropped = 0
+        for _ in range(120):
+            if not q.enqueue(self.data(ect=True)):
+                dropped += 1
+        assert q.marks > 0  # marking happened on the way up
+        assert dropped > 0  # saturation produced real drops
+        # The queue never reached physical capacity, so every drop was a
+        # RED decision in the saturated region — not buffer overflow.
+        assert len(q) < q.capacity_pkts
 
     def test_physical_overflow_drops_even_ect(self):
         q = self.make_red()
