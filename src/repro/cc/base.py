@@ -19,7 +19,7 @@ from typing import Callable, Optional
 
 from repro.net.dumbbell import Dumbbell, HostPair
 from repro.net.node import Node
-from repro.net.packet import ACK, DATA, FEEDBACK, Packet
+from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 
 __all__ = ["WindowRule", "Endpoint", "Sender", "Receiver", "establish"]

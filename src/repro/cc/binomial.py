@@ -19,7 +19,7 @@ the paper itself only requires "suitable values of a and b").
 
 from __future__ import annotations
 
-from repro.cc.aimd import gamma_to_b, tcp_compatible_a
+from repro.cc.aimd import tcp_compatible_a
 from repro.cc.base import WindowRule
 
 __all__ = [

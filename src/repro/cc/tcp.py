@@ -21,7 +21,6 @@ TCP without delayed ACKs).
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.cc.base import ACK_SIZE, Receiver, Sender, WindowRule

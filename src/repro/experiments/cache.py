@@ -143,7 +143,9 @@ class ResultCache:
             "job": jb.describe(),
             "value": value,
         }
-        text = json.dumps(record, allow_nan=True)
+        # sort_keys keeps the on-disk byte layout independent of dict
+        # construction order, so identical payloads are identical blobs.
+        text = json.dumps(record, allow_nan=True, sort_keys=True)
         key = self.key(jb)
         if self.root is None:
             self._memory[key] = text
@@ -207,7 +209,7 @@ class ResultCache:
         """
         if self.root is None or not self.root.exists():
             return 0
-        cutoff = time.time() - max_age_s
+        cutoff = time.time() - max_age_s  # simlint: disable=D002(tmp-file ages are wall-clock by nature; never feeds a table)
         removed = 0
         for leftover in self.root.glob("*/*.tmp"):
             try:

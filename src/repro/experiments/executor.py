@@ -276,7 +276,7 @@ class Executor:
         execute_started = time.monotonic()
         try:
             self._execute([jb for _, jb in unique], complete)
-        except Exception:
+        except Exception:  # simlint: disable=E001(salvage accounting only; the failure is re-raised untouched)
             report.salvaged = len(outcomes)
             raise
         finally:
@@ -323,7 +323,7 @@ class Executor:
             started = time.monotonic()
             try:
                 value = execute_job(jb)
-            except Exception as exc:
+            except Exception as exc:  # simlint: disable=E001(bounded retry loop; exhausting the budget raises ExecutionError from exc)
                 if attempt - start_attempt < self.max_retries:
                     self.last_report.retries += 1
                     time.sleep(self.backoff_s * (2 ** (attempt - start_attempt)))
@@ -467,10 +467,10 @@ class ParallelExecutor(Executor):
             for proc in list(getattr(pool, "_processes", {}).values()):
                 try:
                     proc.terminate()
-                except Exception:
+                except Exception:  # simlint: disable=E001(best-effort kill of a possibly already-dead worker)
                     pass
             pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
+        except Exception:  # simlint: disable=E001(best-effort teardown of a broken pool; nothing to salvage from it)
             pass
 
     def _respawn_or_retire(self, slot: _Slot) -> None:
@@ -486,7 +486,7 @@ class ParallelExecutor(Executor):
         try:
             slot.pool = self._new_pool()
             slot.alive = True
-        except Exception:
+        except Exception:  # simlint: disable=E001(pool respawn may fail on a sick host; the slot retires and the scheduler degrades)
             slot.pool = None
             slot.alive = False
 
@@ -552,7 +552,7 @@ class ParallelExecutor(Executor):
         pos, jb, attempt = queue.popleft()
         try:
             future = slot.pool.submit(_pool_run, jb, pos, attempt, self._fault_text)
-        except Exception:
+        except Exception:  # simlint: disable=E001(the pool can die between harvest and submit; the job is requeued untouched)
             # The pool died between harvest and submit: put the job back
             # untouched (it never ran) and rebuild or retire the slot.
             queue.appendleft((pos, jb, attempt))
@@ -576,7 +576,7 @@ class ParallelExecutor(Executor):
             self.last_report.retries += 1
             queue.appendleft((pos, jb, attempt + 1))
             self._respawn_or_retire(slot)
-        except Exception as exc:
+        except Exception as exc:  # simlint: disable=E001(worker exception enters the bounded retry path; exhaustion raises ExecutionError)
             self._retry_or_fail(queue, pos, jb, attempt, exc)
         else:
             complete(

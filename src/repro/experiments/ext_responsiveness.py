@@ -76,7 +76,7 @@ def measure_responsiveness_rtts(
     """
     sim = Simulator()
     sender, receiver = protocol.make(sim)
-    clock = lambda: sim.now
+    clock = lambda: sim.now  # noqa: E731 - tiny closure over the sim
     dropper = SwitchDropper(
         warmup_s,
         before=PeriodicDropper(steady_loss_period),
@@ -187,7 +187,7 @@ def measure_aggressiveness_pkts_per_rtt(
     """
     sim = Simulator()
     sender, receiver = protocol.make(sim)
-    clock = lambda: sim.now
+    clock = lambda: sim.now  # noqa: E731 - tiny closure over the sim
     dropper = SwitchDropper(
         warmup_s,
         before=PeriodicDropper(steady_loss_period),

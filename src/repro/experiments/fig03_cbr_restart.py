@@ -9,7 +9,7 @@ without self-clocking) hold the network in overload for hundreds of RTTs.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.experiments.jobs import Job, indexed, job
 from repro.experiments.protocols import Protocol, tcp, tfrc

@@ -56,7 +56,11 @@ class RunLog:
         """Append one event; a ``ts`` wall-clock field is added first."""
         if self._handle is None:
             self._handle = self.path.open("a")
-        line = json.dumps({"ts": round(time.time(), 3), **fields}, allow_nan=True)
+        line = json.dumps(
+            {"ts": round(time.time(), 3), **fields},
+            allow_nan=True,
+            sort_keys=True,
+        )
         self._handle.write(line + "\n")
         self._handle.flush()
 

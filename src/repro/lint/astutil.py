@@ -1,0 +1,59 @@
+"""Small AST helpers shared by the simlint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = [
+    "call_name",
+    "dotted_name",
+    "keyword_value",
+    "scopes",
+    "str_const",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The dotted name a call targets (``random.Random``), else None."""
+    return dotted_name(node.func)
+
+
+def keyword_value(node: ast.Call, name: str) -> Optional[ast.expr]:
+    """The AST of keyword argument ``name`` on a call, if present."""
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def str_const(node: Optional[ast.expr]) -> Optional[str]:
+    """The value of a string-literal expression, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def scopes(tree: ast.AST) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:
+    """Yield ``(scope_node, body)`` for the module and each function/class.
+
+    Used by rules that track simple per-scope name bindings (D003's set
+    inference) without building a full symbol table.
+    """
+    if isinstance(tree, (ast.Module, ast.Interactive)):
+        yield tree, list(tree.body)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield node, list(node.body)

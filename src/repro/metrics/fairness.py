@@ -8,7 +8,6 @@ flow holds at least (1-δ)/2 of the combined throughput.
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Sequence
 
 from repro.net.monitor import FlowAccountant

@@ -17,6 +17,7 @@ import random
 from typing import Callable, Optional, Sequence
 
 from repro.net.packet import Packet
+from repro.sim.rng import deterministic_default_rng
 
 __all__ = [
     "Dropper",
@@ -202,7 +203,7 @@ class BernoulliDropper(Dropper):
         if not 0 <= p < 1:
             raise ValueError("p must be in [0, 1)")
         self.p = p
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng if rng is not None else deterministic_default_rng()
 
     def should_drop(self, packet: Packet) -> bool:
         return self._rng.random() < self.p

@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.net.packet import Packet
 from repro.net.queue import QueueDiscipline
+from repro.sim.rng import deterministic_default_rng
 
 __all__ = ["REDQueue", "red_for_bdp"]
 
@@ -70,7 +71,7 @@ class REDQueue(QueueDiscipline):
         self.max_p = max_p
         self.weight = weight
         self.gentle = gentle
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng if rng is not None else deterministic_default_rng()
         self._mean_pkt_time = mean_packet_size * 8.0 / bandwidth_bps
         # With ECN marking (RFC 3168), early "drops" of ECN-capable packets
         # become Congestion Experienced marks and the packet is enqueued —

@@ -11,6 +11,7 @@ import random
 from typing import Callable, Optional
 
 from repro.sim.engine import Simulator, Timer
+from repro.sim.rng import deterministic_default_rng
 
 __all__ = ["PeriodicTask"]
 
@@ -49,7 +50,7 @@ class PeriodicTask:
         self.interval = interval
         self.fn = fn
         self.jitter = jitter
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng if rng is not None else deterministic_default_rng()
         self._timer = Timer(sim, self._tick)
         self.ticks = 0
         self.running = False

@@ -16,7 +16,27 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "deterministic_default_rng"]
+
+
+def deterministic_default_rng() -> random.Random:
+    """A LOUD fixed-seed (0) fallback stream for standalone component use.
+
+    Components that accept an optional ``rng`` (RED queues, droppers,
+    start-jitter helpers) use this when the caller passes none, so a
+    bare ``REDQueue(...)`` in a unit test or example stays reproducible.
+
+    It is deliberately *not* suitable for real experiments: every
+    component falling back to it shares the **same, correlated**
+    sequence, and no experiment seed controls it.  Simulations must
+    pass a named stream — ``registry.stream("red.bottleneck")`` — from
+    the run's :class:`RngRegistry` instead.  The loud name exists so a
+    grep (and rule D001 of ``repro.lint``) can keep the silent
+    ``random.Random(0)`` pattern from creeping back in.
+    """
+    # The one sanctioned bare-Random construction site outside the
+    # registry itself; seed 0 preserves the historical fallback streams.
+    return random.Random(0)  # simlint: disable=D001(the sanctioned fallback constructor itself)
 
 
 class RngRegistry:
@@ -40,13 +60,25 @@ class RngRegistry:
             digest = hashlib.sha256(
                 f"{self._master_seed}:{name}".encode()
             ).digest()
-            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            seed = int.from_bytes(digest[:8], "big")
+            rng = random.Random(seed)  # simlint: disable=D001(the registry is where streams are born)
             self._streams[name] = rng
         return rng
 
     def spawn(self, salt: int) -> "RngRegistry":
-        """Derive a registry with a different master seed (for replicas)."""
-        return RngRegistry(self._master_seed * 1_000_003 + salt)
+        """Derive a replica registry whose streams never collide.
+
+        The child's master seed is hash-derived from ``(parent seed,
+        salt)`` — the same construction :meth:`stream` uses for names —
+        so distinct salts always yield distinct universes and no child
+        can land back on its parent.  (The previous affine form
+        ``seed * 1_000_003 + salt`` collided with the parent for the
+        default registry: ``RngRegistry(0).spawn(0)`` was ``RngRegistry(0)``.)
+        """
+        digest = hashlib.sha256(
+            f"spawn:{self._master_seed}:{salt}".encode()
+        ).digest()
+        return RngRegistry(int.from_bytes(digest[:8], "big"))
 
     def __getstate__(self) -> dict:
         """Pickle as (master seed, per-stream generator state).
@@ -66,7 +98,7 @@ class RngRegistry:
         self._master_seed = int(state["master_seed"])
         self._streams = {}
         for name, rng_state in state["streams"].items():
-            rng = random.Random()
+            rng = random.Random()  # simlint: disable=D001(unpickling restores an existing stream's state)
             rng.setstate(rng_state)
             self._streams[name] = rng
 

@@ -8,6 +8,7 @@ from typing import Callable, Optional
 from repro.cc.base import Receiver, Sender, establish
 from repro.net.dumbbell import Dumbbell
 from repro.sim.engine import Simulator
+from repro.sim.rng import deterministic_default_rng
 
 __all__ = ["Flow", "add_flows", "AgentFactory"]
 
@@ -42,7 +43,7 @@ def add_flows(
     """
     if count < 1:
         raise ValueError("count must be >= 1")
-    rng = rng if rng is not None else random.Random(0)
+    rng = rng if rng is not None else deterministic_default_rng()
     flows = []
     for _ in range(count):
         sender, receiver = factory(sim)

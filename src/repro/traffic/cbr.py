@@ -9,7 +9,7 @@ stop-restart pattern of the Figure 3 experiment.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from repro.cc.base import Receiver, Sender
 from repro.net.packet import DATA, Packet

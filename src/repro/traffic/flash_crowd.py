@@ -16,6 +16,7 @@ from repro.cc.binomial import tcp_rule
 from repro.cc.tcp import TcpSender, TcpSink
 from repro.net.dumbbell import Dumbbell
 from repro.sim.engine import Simulator
+from repro.sim.rng import deterministic_default_rng
 
 __all__ = ["FlashCrowd"]
 
@@ -59,7 +60,7 @@ class FlashCrowd:
         self.transfer_packets = transfer_packets
         self.start_time = start_time
         self.packet_size = packet_size
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng if rng is not None else deterministic_default_rng()
         self._end_time = start_time + duration_s
         self._pair = net.add_host_pair(name="crowd")
         self.flow_ids: list[int] = []

@@ -9,7 +9,7 @@ shell.  No plotting dependencies required.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 __all__ = ["sparkline", "line_chart", "bar_chart"]
 

@@ -1,0 +1,14 @@
+"""D001 fixture: every way to smuggle ambient randomness into sim code."""
+
+import random
+from random import randint  # line 4: from-import of random names
+
+
+class Thing:
+    def __init__(self, rng=None):
+        # line 9: the classic silent fallback
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def jitter(self):
+        # line 13: module-level draw perturbs every other consumer
+        return random.random() + randint(0, 1)

@@ -1,0 +1,14 @@
+"""D001 fixture: randomness arrives as explicit streams; nothing to flag."""
+
+import random  # importing the module for type annotations is fine
+from typing import Optional
+
+from repro.sim.rng import deterministic_default_rng
+
+
+class Thing:
+    def __init__(self, rng: Optional[random.Random] = None):
+        self._rng = rng if rng is not None else deterministic_default_rng()
+
+    def jitter(self) -> float:
+        return self._rng.random()

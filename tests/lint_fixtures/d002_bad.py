@@ -1,0 +1,12 @@
+"""D002 fixture: wall-clock reads inside simulation-domain code."""
+
+import time
+from datetime import datetime
+from time import perf_counter  # line 5: wall-clock from-import
+
+
+def sample():
+    started = time.time()  # line 9
+    stamp = datetime.now()  # line 10
+    tick = perf_counter  # referenced, called below
+    return started, stamp, tick()

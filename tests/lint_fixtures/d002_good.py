@@ -1,0 +1,7 @@
+"""D002 fixture: only sim time is observed; nothing to flag."""
+
+
+def sample(sim):
+    started = sim.now
+    sim.schedule(1.0, lambda: None)
+    return started

@@ -1,0 +1,13 @@
+"""D003 fixture: set iteration orders escaping into outputs."""
+
+
+def schedule_all(sim, flows):
+    pending = {f.name for f in flows}  # a set comprehension
+    for name in pending:  # line 6: iteration order is hash-dependent
+        sim.schedule(1.0, name)
+
+
+def payload(items):
+    seen = set(items)
+    ordered = list(seen)  # line 12: list() freezes an unstable order
+    return [x for x in {"a", "b"}] + ordered  # line 13: set literal comp

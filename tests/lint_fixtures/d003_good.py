@@ -1,0 +1,14 @@
+"""D003 fixture: sets are normalized through sorted(); nothing to flag."""
+
+
+def schedule_all(sim, flows):
+    pending = {f.name for f in flows}
+    for name in sorted(pending):
+        sim.schedule(1.0, name)
+
+
+def payload(items):
+    seen = set(items)
+    mapping = {"a": 1, "b": 2}
+    # dicts are insertion-ordered: iterating them is fine
+    return sorted(seen) + [k for k in mapping]

@@ -1,0 +1,22 @@
+"""E001 fixture: blind excepts on a worker execution path."""
+
+
+def run_one(jb, scenarios):
+    try:
+        return scenarios[jb.scenario](jb)
+    except Exception:  # line 7: swallows a crashed simulation
+        return None
+
+
+def run_all(jobs):
+    out = []
+    for jb in jobs:
+        try:
+            out.append(run_one(jb, {}))
+        except:  # line 16: bare except is even blinder
+            pass
+        try:
+            out.append(run_one(jb, {}))
+        except (ValueError, BaseException):  # line 20: hides in a tuple
+            pass
+    return out

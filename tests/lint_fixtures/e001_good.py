@@ -1,0 +1,15 @@
+"""E001 fixture: typed handlers, or justified blind ones; nothing kept."""
+
+
+def run_one(jb, scenarios):
+    try:
+        return scenarios[jb.scenario](jb)
+    except KeyError:
+        raise KeyError(f"unknown scenario {jb.scenario!r}") from None
+
+
+def teardown(pool):
+    try:
+        pool.shutdown(wait=False)
+    except Exception:  # simlint: disable=E001(best-effort teardown of an already-broken pool)
+        pass

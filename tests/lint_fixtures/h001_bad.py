@@ -1,0 +1,28 @@
+"""H001 fixture: three ways a content hash quietly stops being stable."""
+
+import json
+from dataclasses import dataclass, field
+
+
+def unstable_key(description):
+    return hash(str(description))  # line 8: PYTHONHASHSEED-salted
+
+
+def persist(record):
+    return json.dumps(record)  # line 12: byte layout tracks dict order
+
+
+@dataclass(frozen=True)
+class Job:
+    scenario: str
+    seed: int
+    note: str = ""  # line 19: neither identity nor display-only
+    tags: tuple = field(default=(), compare=False)
+    index: int = field(default=0, compare=False)
+
+    def describe(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "index": self.index,  # line 27: display-only field leaks in
+        }

@@ -1,0 +1,24 @@
+"""H001 fixture: canonical hashing discipline; nothing to flag."""
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+def stable_key(description):
+    text = json.dumps(description, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Job:
+    scenario: str
+    seed: int
+    tags: tuple = field(default=(), compare=False)
+    index: int = field(default=0, compare=False)
+
+    def describe(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+        }

@@ -1,0 +1,21 @@
+"""P001 fixture: registrations and job fields that cannot cross a pickle."""
+
+from repro.experiments.jobs import job, scenario
+
+
+def install():
+    @scenario("late_registered")  # line 7: worker imports never run this
+    def runner(jb):
+        return {}
+
+    return runner
+
+
+def build_jobs():
+    return [
+        job(
+            "fig99",
+            "cbr_restart",
+            params={"clock": lambda: 0.0},  # line 19: lambda in a Job field
+        )
+    ]

@@ -1,0 +1,18 @@
+"""P001 fixture: module-level runner, declarative specs; nothing to flag."""
+
+from repro.experiments.jobs import DropperSpec, job, scenario
+
+
+@scenario("module_level")
+def runner(jb):
+    return {}
+
+
+def build_jobs():
+    return [
+        job(
+            "fig99",
+            "module_level",
+            params={"dropper": DropperSpec.count([50, 400])},
+        )
+    ]

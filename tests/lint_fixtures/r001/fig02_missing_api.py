@@ -1,0 +1,7 @@
+"""R001 fixture: defines jobs only, and points at an unknown scenario."""
+
+from repro.experiments.jobs import indexed, job
+
+
+def jobs(scale="fast"):
+    return indexed([job("fig02", "ghost_scenario", seed=1)])

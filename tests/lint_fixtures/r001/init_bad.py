@@ -1,0 +1,12 @@
+"""R001 fixture: an experiments/__init__ whose tables drifted."""
+
+from repro.experiments import ext_widget, fig01_good, fig02_missing_api
+
+ALL_FIGURES = {
+    "fig01": fig01_good,
+    "fig02": fig02_missing_api,
+    "fig03": fig03_ghost,  # noqa: F821 - deliberately dangling
+    "fig9": fig01_good,
+}
+
+EXTENSIONS = {}

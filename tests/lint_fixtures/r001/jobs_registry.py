@@ -1,0 +1,21 @@
+"""R001 fixture: the scenario registry, with one duplicate registration."""
+
+SCENARIOS = {}
+
+
+def scenario(name):
+    def register(fn):
+        SCENARIOS[name] = fn
+        return fn
+
+    return register
+
+
+@scenario("alpha")
+def _alpha(jb):
+    return {}
+
+
+@scenario("alpha")  # duplicate: silently overrides the first in workers
+def _alpha_again(jb):
+    return {}

@@ -1,0 +1,21 @@
+"""Suppression fixture: line-scoped and reason-required directives.
+
+The module triggers D001 twice; one is suppressed on its line, one is
+left loud.  E001 appears once without the reason its suppression
+requires (so it must survive with a hint appended).
+"""
+
+import random
+
+
+def draws(rng=None):
+    a = random.Random(1)  # simlint: disable=D001(fixture: justified on this line)
+    b = random.Random(2)  # this one stays loud
+    return a, b
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # simlint: disable=E001
+        return None

@@ -70,7 +70,6 @@ class TestNoSelfClocking:
         loopback(sim, sender, sink, dropper=CutoffDropper(10_000))
         sender.start()
         sim.run(until=20.0)  # build up rate
-        sent_before = sender.packets_sent
         sim.run(until=21.0)  # path is dead by now for sure? ensure cutoff hit
         # Force cutoff: run until cutoff is passed.
         sim.run(until=40.0)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cc import establish, new_tcp_flow, sqrt_rule, tcp_rule
-from repro.cc.tcp import TcpSender, TcpSink
+from repro.cc.tcp import TcpSink
 from repro.net import CountBasedDropper, CutoffDropper, Dumbbell, PeriodicDropper
 from repro.sim import Simulator
 
@@ -72,7 +72,6 @@ class TestLossRecovery:
         loopback(sim, sender, sink, dropper=CountBasedDropper([400, 10**9]))
         sender.start()
         sim.run(until=2.0)
-        before = sender.cwnd
         sim.run(until=20.0)
         assert sender.loss_events >= 1
         assert sender.ssthresh < 1e9

@@ -1,6 +1,5 @@
 """Tests for the TCP options: ECN, delayed ACKs, Limited Transmit."""
 
-import pytest
 
 from repro.cc import establish, new_tcp_flow
 from repro.net import Dumbbell, Packet, PeriodicDropper, REDQueue

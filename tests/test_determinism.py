@@ -5,7 +5,6 @@ named stream) exists so results are exactly reproducible and so adding a
 component does not perturb others.  These tests pin that down.
 """
 
-import pytest
 
 from repro.cc import establish, new_tcp_flow, new_tfrc_flow
 from repro.experiments.protocols import tcp, tfrc

@@ -7,7 +7,6 @@ here we only verify they load and expose a main().
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

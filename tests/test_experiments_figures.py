@@ -13,7 +13,6 @@ from repro.experiments import (
     ALL_FIGURES,
     fig03_cbr_restart,
     fig04_stabilization_time,
-    fig05_stabilization_cost,
     fig06_flash_crowd,
     fig07_tcp_vs_tfrc,
     fig08_tcp_vs_tcp8,

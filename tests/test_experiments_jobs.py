@@ -14,7 +14,6 @@ that make that split safe:
 
 from __future__ import annotations
 
-import dataclasses
 import pickle
 import subprocess
 import sys
@@ -37,7 +36,7 @@ from repro.experiments.executor import (
     execute,
     make_executor,
 )
-from repro.experiments.jobs import DropperSpec, Job, canonical, content_hash, job
+from repro.experiments.jobs import DropperSpec, canonical, content_hash, job
 from repro.experiments.protocols import ProtocolSpec, spec_of, tcp, tfrc
 from repro.sim.rng import RngRegistry
 

@@ -1,6 +1,5 @@
 """Unit tests for the Table result container and config picking."""
 
-import math
 
 import pytest
 

@@ -29,8 +29,6 @@ PKT = 1000
 
 def measured_pps(sender, receiver, duration=120.0, warmup=30.0):
     sim = sender.sim
-    start_count = {}
-
     counts = []
     times = []
 

@@ -6,7 +6,6 @@ throughput never exceeds capacity, queues respect their bounds, and the
 congestion-control senders keep their state in legal ranges.
 """
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.metrics import Summary, replicate, summarize, t_quantile_975
+from repro.metrics import replicate, summarize, t_quantile_975
 
 
 class TestTQuantile:

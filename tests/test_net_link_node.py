@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net import DropTailQueue, Link, LinkMonitor, Node, Packet
-from repro.net.packet import ACK, DATA
+from repro.net.packet import DATA
 from repro.sim import Simulator
 
 

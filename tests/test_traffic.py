@@ -151,7 +151,7 @@ class TestAddFlows:
 
     def test_reverse_flows_use_reverse_path(self):
         sim, net = build()
-        flows = add_flows(
+        add_flows(
             sim, net, lambda s: new_tcp_flow(s), count=1, forward=False
         )
         sim.run(until=5.0)
