@@ -21,6 +21,8 @@ from repro.net.dumbbell import Dumbbell, HostPair
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
+from repro.telemetry import active_recorder
+from repro.telemetry.probes import Probe
 
 __all__ = ["WindowRule", "Endpoint", "Sender", "Receiver", "establish"]
 
@@ -117,6 +119,10 @@ class Sender(Endpoint):
         self.stopped_at: Optional[float] = None
         self.packets_sent = 0
         self.on_complete: Optional[Callable[["Sender"], None]] = None
+        # Telemetry channels this sender emits (cwnd, rate, timeouts...).
+        # Subclasses register probes here; establish() adopts them into
+        # the active recorder as flow.<id>.<key>.
+        self.probes: dict[str, Probe] = {}
 
     def start(self) -> None:
         """Begin transmitting now."""
@@ -192,4 +198,8 @@ def establish(
     sender.attach(pair.source, pair.destination.address, flow_id)
     receiver.attach(pair.destination, pair.source.address, flow_id)
     receiver.on_data.append(net.accountant.on_deliver)
+    recorder = active_recorder()
+    if recorder is not None:
+        for key, probe in sender.probes.items():
+            recorder.adopt(f"flow.{flow_id}.{key}", probe)
     return flow_id

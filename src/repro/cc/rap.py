@@ -25,6 +25,7 @@ from repro.cc.aimd import tcp_compatible_a
 from repro.cc.base import ACK_SIZE, Receiver, Sender
 from repro.net.packet import ACK, DATA, Packet
 from repro.sim.engine import Simulator, Timer
+from repro.telemetry.probes import SeriesProbe
 
 __all__ = ["RapSender", "RapSink", "new_rap_flow"]
 
@@ -65,7 +66,7 @@ class RapSender(Sender):
         # number of ACKs that actually arrived in the last RTT (the analogue
         # of TFRC's conservative_ option).
         self.conservative = conservative
-        self._ack_times: list[float] = []
+        self._recent_acks: list[float] = []  # algorithm state, not telemetry
         self.w = 1.0  # virtual window, packets per RTT
         self.srtt = initial_rtt
         self._seq = 0
@@ -76,7 +77,8 @@ class RapSender(Sender):
         self._send_timer = Timer(sim, self._send_next)
         self._round_timer = Timer(sim, self._end_round)
         self.loss_events = 0
-        self._rate_trace: list[tuple[float, float]] = []
+        self._rate_probe = SeriesProbe("rate")
+        self.probes["rate"] = self._rate_probe
 
     # Rate bookkeeping -----------------------------------------------------------
 
@@ -85,11 +87,11 @@ class RapSender(Sender):
         return self.w / self.srtt
 
     def _record_rate(self) -> None:
-        self._rate_trace.append((self.sim.now, self.rate_pps))
+        self._rate_probe.record(self.sim.now, self.rate_pps)
 
     @property
     def rate_trace(self) -> list[tuple[float, float]]:
-        return self._rate_trace
+        return list(self._rate_probe)
 
     # Lifecycle ---------------------------------------------------------------------
 
@@ -146,7 +148,7 @@ class RapSender(Sender):
         if sent_at is not None:
             self._sample_rtt(self.sim.now - sent_at)
         if self.conservative:
-            self._ack_times.append(self.sim.now)
+            self._recent_acks.append(self.sim.now)
         self._highest_acked = max(self._highest_acked, seq)
         # RAP gap detection: an ACK for packet k means anything more than
         # LOSS_REORDER_DEPTH behind k that is still unACKed was lost.
@@ -164,8 +166,8 @@ class RapSender(Sender):
     def _ack_rate_window(self) -> float:
         """ACKs received in the last RTT (the achieved bottleneck rate)."""
         cutoff = self.sim.now - self.srtt
-        self._ack_times = [t for t in self._ack_times if t >= cutoff]
-        return float(len(self._ack_times))
+        self._recent_acks = [t for t in self._recent_acks if t >= cutoff]
+        return float(len(self._recent_acks))
 
     def _on_loss_event(self) -> None:
         """At most one multiplicative decrease per RTT (one loss event)."""

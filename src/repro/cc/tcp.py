@@ -27,6 +27,7 @@ from repro.cc.base import ACK_SIZE, Receiver, Sender, WindowRule
 from repro.cc.binomial import tcp_rule
 from repro.net.packet import ACK, DATA, Packet
 from repro.sim.engine import Simulator, Timer
+from repro.telemetry.probes import CounterProbe, SeriesProbe
 
 __all__ = ["TcpSender", "TcpSink", "new_tcp_flow"]
 
@@ -102,12 +103,15 @@ class TcpSender(Sender):
         self.ecn = ecn
         self.limited_transmit = limited_transmit
         self._ecn_reacted_until = -1  # react to ECE at most once per window
-        # Statistics.
-        self.timeouts = 0
+        # Statistics (telemetry channels; adopted as flow.<id>.* when
+        # a recorder is capturing).
         self.fast_retransmits = 0
         self.loss_events = 0
         self.ecn_reactions = 0
-        self._cwnd_trace: list[tuple[float, float]] = []
+        self._cwnd_probe = SeriesProbe("cwnd")
+        self._timeout_events = CounterProbe("timeouts")
+        self.probes["cwnd"] = self._cwnd_probe
+        self.probes["timeouts"] = self._timeout_events
 
     # Lifecycle -----------------------------------------------------------------
 
@@ -203,7 +207,7 @@ class TcpSender(Sender):
                 self.cwnd += self.rule.increase_per_ack(self.cwnd)
         if self.max_cwnd is not None:
             self.cwnd = min(self.cwnd, self.max_cwnd)
-        self._cwnd_trace.append((self.sim.now, self.cwnd))
+        self._cwnd_probe.record(self.sim.now, self.cwnd)
 
     def _handle_ecn_echo(self) -> None:
         """RFC 2481 response: decrease once per window of data, without a
@@ -215,7 +219,7 @@ class TcpSender(Sender):
         self.cwnd = max(self.rule.decrease(self.cwnd), 1.0)
         self.ssthresh = self.cwnd
         self._ecn_reacted_until = self.snd_nxt - 1
-        self._cwnd_trace.append((self.sim.now, self.cwnd))
+        self._cwnd_probe.record(self.sim.now, self.cwnd)
 
     def _handle_dupack(self) -> None:
         self._dupacks += 1
@@ -237,14 +241,14 @@ class TcpSender(Sender):
         self._recover = self.snd_nxt - 1
         self._send_data(self.snd_una)  # fast retransmit
         self._arm_timer()
-        self._cwnd_trace.append((self.sim.now, self.ssthresh))
+        self._cwnd_probe.record(self.sim.now, self.ssthresh)
 
     # Timeout ---------------------------------------------------------------------
 
     def _on_timeout(self) -> None:
         if not self.running or self.inflight() == 0:
             return
-        self.timeouts += 1
+        self._timeout_events.increment(self.sim.now)
         self.loss_events += 1
         self.ssthresh = max(self.rule.decrease(self.cwnd), 1.0)
         self.cwnd = 1.0
@@ -260,7 +264,7 @@ class TcpSender(Sender):
         self.snd_nxt = self.snd_una + 1
         self._send_data(self.snd_una)
         self._arm_timer()
-        self._cwnd_trace.append((self.sim.now, self.cwnd))
+        self._cwnd_probe.record(self.sim.now, self.cwnd)
 
     # RTT estimation ----------------------------------------------------------------
 
@@ -279,9 +283,13 @@ class TcpSender(Sender):
     # Introspection -------------------------------------------------------------------
 
     @property
+    def timeouts(self) -> int:
+        return self._timeout_events.count
+
+    @property
     def cwnd_trace(self) -> list[tuple[float, float]]:
         """(time, window) samples taken at every window change."""
-        return self._cwnd_trace
+        return list(self._cwnd_probe)
 
 
 class TcpSink(Receiver):

@@ -20,6 +20,7 @@ from typing import Optional
 from repro.cc.base import ACK_SIZE, Receiver, Sender
 from repro.net.packet import DATA, FEEDBACK, Packet
 from repro.sim.engine import Simulator, Timer
+from repro.telemetry.probes import SeriesProbe
 
 __all__ = ["TearReceiver", "TearSender", "new_tear_flow"]
 
@@ -56,7 +57,8 @@ class TearReceiver(Receiver):
         self.ssthresh = 1e9
         self.rtt_estimate = initial_rtt
         self.expected_seq = 0
-        self._round_window_samples: deque[float] = deque(maxlen=epochs)
+        # Per-round cwnd snapshots (algorithm state for the epoch mean).
+        self._epoch_windows: deque[float] = deque(maxlen=epochs)
         self._loss_event_until = -1.0
         self._last_data_sent_at = -1.0
         self._round_timer = Timer(sim, self._end_round)
@@ -100,7 +102,7 @@ class TearReceiver(Receiver):
     # Rate feedback ---------------------------------------------------------------
 
     def _end_round(self) -> None:
-        self._round_window_samples.append(self.cwnd)
+        self._epoch_windows.append(self.cwnd)
         rate_bps = self.smoothed_rate_bps()
         self._transmit(
             FEEDBACK, 0, ACK_SIZE, echo=self._last_data_sent_at, info=rate_bps
@@ -108,9 +110,9 @@ class TearReceiver(Receiver):
         self._round_timer.schedule(self.rtt_estimate)
 
     def smoothed_rate_bps(self) -> float:
-        if not self._round_window_samples:
+        if not self._epoch_windows:
             return self.packet_size * 8.0 / self.rtt_estimate
-        mean_window = sum(self._round_window_samples) / len(self._round_window_samples)
+        mean_window = sum(self._epoch_windows) / len(self._epoch_windows)
         return mean_window * self.packet_size * 8.0 / self.rtt_estimate
 
 
@@ -130,7 +132,8 @@ class TearSender(Sender):
         self.rate_bps = packet_size * 8.0 / initial_rtt
         self._seq = 0
         self._send_timer = Timer(sim, self._send_next)
-        self._rate_trace: list[tuple[float, float]] = []
+        self._rate_probe = SeriesProbe("rate")
+        self.probes["rate"] = self._rate_probe
 
     @property
     def rtt(self) -> float:
@@ -138,10 +141,10 @@ class TearSender(Sender):
 
     @property
     def rate_trace(self) -> list[tuple[float, float]]:
-        return self._rate_trace
+        return list(self._rate_probe)
 
     def _begin(self) -> None:
-        self._rate_trace.append((self.sim.now, self.rate_bps))
+        self._rate_probe.record(self.sim.now, self.rate_bps)
         self._send_next()
 
     def _halt(self) -> None:
@@ -168,7 +171,7 @@ class TearSender(Sender):
                 )
         if isinstance(packet.info, float) and packet.info > 0:
             self.rate_bps = packet.info
-            self._rate_trace.append((self.sim.now, self.rate_bps))
+            self._rate_probe.record(self.sim.now, self.rate_bps)
 
 
 def new_tear_flow(

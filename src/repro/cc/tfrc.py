@@ -32,6 +32,7 @@ from repro.cc.base import ACK_SIZE, Receiver, Sender
 from repro.cc.equations import padhye_rate_pps
 from repro.net.packet import DATA, FEEDBACK, Packet
 from repro.sim.engine import Simulator, Timer
+from repro.telemetry.probes import SeriesProbe
 
 __all__ = ["TfrcReport", "TfrcReceiver", "TfrcSender", "new_tfrc_flow", "interval_weights"]
 
@@ -273,7 +274,8 @@ class TfrcSender(Sender):
         self._seq = 0
         self._send_timer = Timer(sim, self._send_next)
         self._no_feedback_timer = Timer(sim, self._no_feedback_expired)
-        self._rate_trace: list[tuple[float, float]] = []
+        self._rate_probe = SeriesProbe("rate")
+        self.probes["rate"] = self._rate_probe
         self.feedback_count = 0
 
     # Lifecycle -----------------------------------------------------------------
@@ -297,11 +299,11 @@ class TfrcSender(Sender):
         return self.packet_size * 8.0 / T_MBI
 
     def _record_rate(self) -> None:
-        self._rate_trace.append((self.sim.now, self.rate_bps))
+        self._rate_probe.record(self.sim.now, self.rate_bps)
 
     @property
     def rate_trace(self) -> list[tuple[float, float]]:
-        return self._rate_trace
+        return list(self._rate_probe)
 
     def _send_next(self) -> None:
         if not self.running:

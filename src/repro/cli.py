@@ -11,6 +11,18 @@ Usage::
     python -m repro run all --no-cache        # force fresh simulations
     python -m repro run all --cache-dir /tmp/repro-cache
     python -m repro run all --run-log run.jsonl --job-timeout 600
+    python -m repro run fig04 --trace         # also record telemetry traces
+    python -m repro trace fig04               # list the stored traces
+    python -m repro trace fig04 --job 0       # channels of one job's trace
+    python -m repro trace fig04 --replay      # recompute the table from traces
+
+``run --trace`` records every probe channel (queue arrivals/drops/marks,
+per-flow delivered bytes, cwnd, sending rates...) while simulating and
+stores the JSONL trace beside each cached result.  ``trace --replay``
+then rebuilds the figure's table from those traces alone — no
+simulation — and prints it byte-identically, which is how CI proves the
+telemetry stream carries everything the figures need
+(see ``docs/telemetry.md``).
 
 Results are cached on disk (``~/.cache/repro`` by default, see
 ``--cache-dir``) keyed by the content hash of each job plus a
@@ -31,6 +43,7 @@ figure — see ``docs/experiments.md``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 import time
@@ -38,7 +51,7 @@ from typing import Optional, Sequence
 
 from repro.experiments import ALL_FIGURES, EXTENSIONS
 from repro.experiments.cache import ResultCache, default_cache_dir
-from repro.experiments.executor import make_executor
+from repro.experiments.executor import JobResult, make_executor
 from repro.experiments.runner import Table
 from repro.viz import line_chart
 
@@ -148,6 +161,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="bounded retry budget for failing jobs (default: 2; also "
         "honors REPRO_MAX_RETRIES)",
     )
+    run_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a telemetry trace per job, stored beside the cached "
+        "result (requires the cache; inspect with 'repro trace')",
+    )
+    trace_parser = sub.add_parser(
+        "trace", help="inspect or replay stored telemetry traces"
+    )
+    trace_parser.add_argument("figure", help="figure name (e.g. fig04)")
+    trace_parser.add_argument(
+        "--scale",
+        choices=("fast", "paper"),
+        default="fast",
+        help="scenario scale the traces were recorded at (default: fast)",
+    )
+    trace_parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
+    trace_parser.add_argument(
+        "--job",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show the channels of job N's trace instead of the summary",
+    )
+    trace_parser.add_argument(
+        "--channel",
+        default=None,
+        metavar="NAME",
+        help="with --job: dump one channel's samples as 'time value' lines",
+    )
+    trace_parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="recompute the figure's table from the stored traces alone "
+        "(no simulation) and print it",
+    )
+    trace_parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="with --replay: directory to persist the replayed table into",
+    )
     args = parser.parse_args(argv)
 
     runnable = {**ALL_FIGURES, **EXTENSIONS}
@@ -163,6 +223,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if unknown:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(runnable)}", file=sys.stderr)
+        return 2
+
+    if args.command == "trace":
+        return _trace_command(args, runnable)
+
+    if args.trace and not args.cache:
+        print(
+            "--trace requires the cache: trace artifacts are stored beside "
+            "cached results (drop --no-cache)",
+            file=sys.stderr,
+        )
         return 2
 
     executor = make_executor(
@@ -183,7 +254,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in names:
         started = time.time()
         module = runnable[name]
-        results = executor.map(module.jobs(args.scale), cache)
+        jobs = module.jobs(args.scale)
+        if args.trace:
+            jobs = [dataclasses.replace(jb, trace=True) for jb in jobs]
+        results = executor.map(jobs, cache)
         table = module.reduce(results)
         elapsed = time.time() - started
         report = executor.last_report
@@ -226,6 +300,98 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"[total: {total_jobs} jobs, {total_computed} computed, "
             f"{total_hits} cache hits, {total_dedup} deduplicated{extras}; "
             f"cache={where}, workers={executor.workers}]"
+        )
+    return 0
+
+
+def _trace_command(args, runnable) -> int:
+    """``repro trace``: inspect or replay the stored telemetry traces."""
+    from repro.experiments.replay import replay_job
+    from repro.telemetry.trace import TraceReader
+
+    if args.figure == "all":
+        print("trace works on one figure at a time", file=sys.stderr)
+        return 2
+    module = runnable[args.figure]
+    cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
+    jobs = module.jobs(args.scale)
+
+    def missing(jb) -> int:
+        print(
+            f"no trace for {args.figure} job {jb.index} "
+            f"(key {cache.key(jb)[:12]}...); record one with "
+            f"'repro run {args.figure} --trace --scale {args.scale}'",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.replay:
+        results = []
+        for jb in jobs:
+            text = cache.load_trace(jb)
+            if text is None:
+                return missing(jb)
+            try:
+                payload = replay_job(jb, TraceReader.loads(text))
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 1
+            results.append(JobResult(job=jb, value=payload, cached=False))
+        table = module.reduce(results)
+        # Exactly the table, nothing else: CI diffs this against `repro
+        # run`'s persisted table to prove replay is byte-identical.
+        print(table.format())
+        if args.out:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{args.figure}.txt").write_text(table.format() + "\n")
+        return 0
+
+    if args.job is not None:
+        matching = [jb for jb in jobs if jb.index == args.job]
+        if not matching:
+            print(
+                f"{args.figure} has no job {args.job} "
+                f"(valid: 0..{len(jobs) - 1})",
+                file=sys.stderr,
+            )
+            return 2
+        jb = matching[0]
+        text = cache.load_trace(jb)
+        if text is None:
+            return missing(jb)
+        reader = TraceReader.loads(text)
+        if args.channel is not None:
+            try:
+                probe = reader.channel(args.channel)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            for t, v in zip(probe.times, probe.values):
+                print(f"{t!r} {v!r}")
+            return 0
+        print(f"{args.figure} job {jb.index}: {cache.trace_path(jb)}")
+        for key in sorted(reader.meta):
+            print(f"  meta {key} = {reader.meta[key]!r}")
+        for name in sorted(reader.channels):
+            probe = reader.channels[name]
+            print(f"  {probe.kind:7s} {name}  ({len(probe.times)} samples)")
+        return 0
+
+    stored = 0
+    for jb in jobs:
+        if cache.has_trace(jb):
+            stored += 1
+            reader = TraceReader.loads(cache.load_trace(jb))
+            print(
+                f"job {jb.index}: {len(reader.channels)} channels  "
+                f"{cache.trace_path(jb)}"
+            )
+        else:
+            print(f"job {jb.index}: no trace")
+    if stored == 0:
+        print(
+            f"(no traces stored; record them with "
+            f"'repro run {args.figure} --trace --scale {args.scale}')"
         )
     return 0
 

@@ -89,6 +89,7 @@ class ResultCache:
         self.salt = salt if salt is not None else default_salt()
         self.stats = CacheStats()
         self._memory: dict[str, str] = {}
+        self._memory_traces: dict[str, str] = {}
 
     # -- keys ---------------------------------------------------------------
 
@@ -101,6 +102,16 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         assert self.root is not None
         return self.root / key[:2] / f"{key}.json"
+
+    def _trace_path(self, key: str) -> pathlib.Path:
+        assert self.root is not None
+        return self.root / key[:2] / f"{key}.trace.jsonl"
+
+    def trace_path(self, jb: Job) -> Optional[pathlib.Path]:
+        """Where ``jb``'s trace artifact lives on disk (None in memory mode)."""
+        if self.root is None:
+            return None
+        return self._trace_path(self.key(jb))
 
     # -- lookup / store -----------------------------------------------------
 
@@ -168,6 +179,50 @@ class ResultCache:
         self.stats.stores += 1
         return json.loads(text)["value"]
 
+    # -- trace artifacts ----------------------------------------------------
+    #
+    # A trace is the raw telemetry (JSONL, see repro.telemetry.trace) the
+    # simulation emitted while computing a result.  It is stored *beside*
+    # the result blob — same shard, same key, ``.trace.jsonl`` suffix — and
+    # never read by lookup(), so trace artifacts cannot perturb results.
+
+    def store_trace(self, jb: Job, text: str) -> None:
+        """Persist the JSONL trace for ``jb`` next to its result blob."""
+        key = self.key(jb)
+        if self.root is None:
+            self._memory_traces[key] = text
+            return
+        path = self._trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load_trace(self, jb: Job) -> Optional[str]:
+        """The stored JSONL trace for ``jb``, or None."""
+        key = self.key(jb)
+        if self.root is None:
+            return self._memory_traces.get(key)
+        try:
+            return self._trace_path(key).read_text()
+        except OSError:
+            return None
+
+    def has_trace(self, jb: Job) -> bool:
+        """True when a trace artifact exists for ``jb``."""
+        key = self.key(jb)
+        if self.root is None:
+            return key in self._memory_traces
+        return self._trace_path(key).exists()
+
     # -- maintenance --------------------------------------------------------
 
     def clear(self) -> int:
@@ -181,6 +236,7 @@ class ResultCache:
         if self.root is None:
             count = len(self._memory)
             self._memory.clear()
+            self._memory_traces.clear()
             return count
         count = 0
         if self.root.exists():
@@ -188,6 +244,13 @@ class ResultCache:
                 try:
                     blob.unlink()
                     count += 1
+                except OSError:
+                    pass
+            # Trace artifacts ride along with their result blobs but are
+            # not entries themselves, so they are swept without counting.
+            for trace in self.root.glob("*/*.trace.jsonl"):
+                try:
+                    trace.unlink()
                 except OSError:
                     pass
             for leftover in self.root.glob("*/*.tmp"):

@@ -222,11 +222,14 @@ class Executor:
         values: list[Any] = [MISS] * len(jobs)
         cached = [False] * len(jobs)
 
-        # Stage 1: cache lookups, in submission order.
+        # Stage 1: cache lookups, in submission order.  A traced job only
+        # accepts a hit when its trace artifact exists too — a cached
+        # result without a trace is recomputed (and re-stored, this time
+        # with the trace beside it).
         lookup_started = time.monotonic()
         pending: dict[str, list[int]] = {}
         for i, jb in enumerate(jobs):
-            if cache is not None:
+            if cache is not None and (not jb.trace or cache.has_trace(jb)):
                 hit = cache.lookup(jb)
                 if hit is not MISS:
                     values[i] = hit
@@ -256,9 +259,20 @@ class Executor:
             # Store immediately — salvage: a later failure cannot discard
             # this result, and a rerun will answer it from the cache.
             _, jb = unique[pos]
+            # A traced execution returns {"__trace__": jsonl, "value": ...};
+            # the wrapper never reaches the result cache or the caller.
+            trace_text: Optional[str] = None
+            if jb.trace and isinstance(value, dict) and "__trace__" in value:
+                trace_text = value["__trace__"]
+                value = value["value"]
+            trace_path: Optional[str] = None
             if cache is not None:
                 store_started = time.monotonic()
                 value = cache.store(jb, value)
+                if trace_text is not None:
+                    cache.store_trace(jb, trace_text)
+                    stored_at = cache.trace_path(jb)
+                    trace_path = str(stored_at) if stored_at is not None else None
                 report.store_s += time.monotonic() - store_started
             outcomes[pos] = value
             self._completed_count = len(outcomes)
@@ -271,6 +285,7 @@ class Executor:
                 retried=attempts > 1,
                 degraded=degraded,
                 timed_out=timed_out,
+                trace_path=trace_path,
             )
 
         execute_started = time.monotonic()
@@ -366,6 +381,7 @@ class Executor:
         degraded: bool = False,
         timed_out: bool = False,
         error: Optional[str] = None,
+        trace_path: Optional[str] = None,
     ) -> None:
         if self.run_log is None:
             return
@@ -384,6 +400,8 @@ class Executor:
         }
         if error is not None:
             record["error"] = error
+        if trace_path is not None:
+            record["trace_path"] = trace_path
         self.run_log.record(**record)
 
     def _log_map(self, report: ExecutionReport) -> None:

@@ -36,10 +36,12 @@ __all__ = [
     "Job",
     "SCENARIOS",
     "canonical",
+    "cbr_restart_payload",
     "content_hash",
     "execute_job",
     "indexed",
     "job",
+    "oscillation_payload",
     "scenario",
 ]
 
@@ -182,6 +184,10 @@ class Job:
     scale: str = "fast"
     tags: tuple[tuple[str, Any], ...] = dataclasses.field(default=(), compare=False)
     index: int = dataclasses.field(default=0, compare=False)
+    # Record a telemetry trace while executing.  Excluded from the content
+    # hash (compare=False) so tracing never forks the result cache: a traced
+    # and an untraced run of the same point share one cache entry.
+    trace: bool = dataclasses.field(default=False, compare=False)
 
     def param(self, name: str, default: Any = None) -> Any:
         for key, value in self.params:
@@ -286,19 +292,24 @@ def execute_job(jb: Job, fault: Optional[Callable[[Job], None]] = None) -> Any:
         raise KeyError(
             f"unknown scenario {jb.scenario!r}; available: {', '.join(sorted(SCENARIOS))}"
         ) from None
-    return fn(jb)
+    if not jb.trace:
+        return fn(jb)
+    from repro.telemetry import Recorder, capture
+
+    recorder = Recorder()
+    recorder.annotate("job", jb.describe())
+    recorder.annotate("scenario", jb.scenario)
+    with capture(recorder):
+        value = fn(jb)
+    return {"__trace__": recorder.export_text(), "value": value}
 
 
 def _series(timeseries) -> list[list[float]]:
     return [[t, v] for t, v in timeseries]
 
 
-@scenario("cbr_restart")
-def _cbr_restart(jb: Job) -> dict:
-    """Figures 3-5: stabilization after a CBR restart."""
-    from repro.experiments.scenarios import run_cbr_restart
-
-    result = run_cbr_restart(jb.protocol.build(), jb.config)
+def cbr_restart_payload(result) -> dict:
+    """JSON payload for one cbr_restart point (shared with trace replay)."""
     return {
         "protocol": result.protocol,
         "steady_loss_rate": result.steady_loss_rate,
@@ -309,6 +320,30 @@ def _cbr_restart(jb: Job) -> dict:
         "stabilized": result.stabilization.stabilized,
         "series": _series(result.loss_series),
     }
+
+
+def oscillation_payload(result) -> dict:
+    """JSON payload for one oscillation point (shared with trace replay)."""
+    return {
+        "protocol_a": result.protocol_a,
+        "protocol_b": result.protocol_b,
+        "period_s": result.period_s,
+        "mean_a": result.mean_a,
+        "mean_b": result.mean_b,
+        "shares_a": list(result.shares_a),
+        "shares_b": list(result.shares_b),
+        "utilization": result.utilization,
+        "drop_rate": result.drop_rate,
+    }
+
+
+@scenario("cbr_restart")
+def _cbr_restart(jb: Job) -> dict:
+    """Figures 3-5: stabilization after a CBR restart."""
+    from repro.experiments.scenarios import run_cbr_restart
+
+    result = run_cbr_restart(jb.protocol.build(), jb.config)
+    return cbr_restart_payload(result)
 
 
 @scenario("flash_crowd")
@@ -337,17 +372,7 @@ def _oscillation(jb: Job) -> dict:
     result = run_oscillation(
         jb.protocol.build(), protocol_b, jb.param("period_s"), jb.config
     )
-    return {
-        "protocol_a": result.protocol_a,
-        "protocol_b": result.protocol_b,
-        "period_s": result.period_s,
-        "mean_a": result.mean_a,
-        "mean_b": result.mean_b,
-        "shares_a": list(result.shares_a),
-        "shares_b": list(result.shares_b),
-        "utilization": result.utilization,
-        "drop_rate": result.drop_rate,
-    }
+    return oscillation_payload(result)
 
 
 @scenario("convergence")

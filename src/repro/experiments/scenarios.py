@@ -36,7 +36,9 @@ from repro.net.dumbbell import Dumbbell
 from repro.net.paths import single_path
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
-from repro.sim.tracing import TimeSeries
+from repro.telemetry import active_recorder
+from repro.telemetry.measures import FlowMetrics, LinkMetrics
+from repro.telemetry.series import TimeSeries
 from repro.traffic.bulk import Flow, add_flows
 from repro.traffic.cbr import CbrSink, CbrSource, on_off_schedule, square_wave
 from repro.traffic.flash_crowd import FlashCrowd
@@ -53,6 +55,8 @@ __all__ = [
     "LossPatternResult",
     "OscillationConfig",
     "OscillationResult",
+    "measure_cbr_restart",
+    "measure_oscillation",
     "run_cbr_restart",
     "run_convergence",
     "run_doubling",
@@ -154,6 +158,39 @@ class CbrRestartResult:
     spike_loss_rate: float  # first 10 RTTs after the restart
 
 
+def measure_cbr_restart(
+    monitor: LinkMetrics, cfg: CbrRestartConfig, protocol_name: str
+) -> CbrRestartResult:
+    """Derive the CBR-restart result from the bottleneck's channels.
+
+    Runs over any :class:`LinkMetrics` — the live monitor right after the
+    simulation, or one rebuilt from a trace by
+    :class:`~repro.telemetry.trace.TraceReader` — producing bit-identical
+    results either way.
+    """
+    steady = monitor.loss_rate(cfg.warmup_s, cfg.cbr_stop)
+    steady = 0.0 if math.isnan(steady) else steady
+    stabilization = measure_stabilization(
+        monitor,
+        congestion_start=cfg.cbr_restart,
+        steady_loss_rate=steady,
+        rtt_s=cfg.rtt_s,
+        end=cfg.end,
+    )
+    window = 10 * cfg.rtt_s
+    series = monitor.loss_rate_series(
+        window_s=window, start=0.0, end=cfg.end, stride_s=window / 2
+    )
+    spike = monitor.loss_rate(cfg.cbr_restart, cfg.cbr_restart + window)
+    return CbrRestartResult(
+        protocol=protocol_name,
+        steady_loss_rate=steady,
+        stabilization=stabilization,
+        loss_series=series,
+        spike_loss_rate=0.0 if math.isnan(spike) else spike,
+    )
+
+
 def run_cbr_restart(protocol: Protocol, cfg: CbrRestartConfig) -> CbrRestartResult:
     sim, net = _build_net(cfg.bandwidth_bps, cfg.rtt_s, cfg.seed, cfg.reverse_flows)
     cbr, _ = _attach_cbr(sim, net, cfg.cbr_fraction * cfg.bandwidth_bps)
@@ -170,28 +207,7 @@ def run_cbr_restart(protocol: Protocol, cfg: CbrRestartConfig) -> CbrRestartResu
         rng=random.Random(cfg.seed),
     )
     sim.run(until=cfg.end)
-
-    steady = net.monitor.loss_rate(cfg.warmup_s, cfg.cbr_stop)
-    steady = 0.0 if math.isnan(steady) else steady
-    stabilization = measure_stabilization(
-        net.monitor,
-        congestion_start=cfg.cbr_restart,
-        steady_loss_rate=steady,
-        rtt_s=cfg.rtt_s,
-        end=cfg.end,
-    )
-    window = 10 * cfg.rtt_s
-    series = net.monitor.loss_rate_series(
-        window_s=window, start=0.0, end=cfg.end, stride_s=window / 2
-    )
-    spike = net.monitor.loss_rate(cfg.cbr_restart, cfg.cbr_restart + window)
-    return CbrRestartResult(
-        protocol=protocol.name,
-        steady_loss_rate=steady,
-        stabilization=stabilization,
-        loss_series=series,
-        spike_loss_rate=0.0 if math.isnan(spike) else spike,
-    )
+    return measure_cbr_restart(net.monitor, cfg, protocol.name)
 
 
 # ---------------------------------------------------------------------------
@@ -356,6 +372,51 @@ class OscillationResult:
     drop_rate: float
 
 
+def measure_oscillation(
+    monitor: LinkMetrics,
+    accountant: FlowMetrics,
+    flow_ids_a: Sequence[int],
+    flow_ids_b: Sequence[int],
+    name_a: str,
+    name_b: Optional[str],
+    period_s: float,
+    end: float,
+    cfg: OscillationConfig,
+) -> OscillationResult:
+    """Derive the oscillation result from link + flow channels.
+
+    Shared by the live path and trace replay (the flow-id groupings are
+    stored as trace metadata), so both produce bit-identical results.
+    """
+    n_total = len(flow_ids_a) + len(flow_ids_b)
+    fair_share = cfg.mean_available_bps / n_total
+
+    def shares(flow_ids: Sequence[int]) -> list[float]:
+        return [
+            accountant.throughput_bps(fid, cfg.warmup_s, end) / fair_share
+            for fid in flow_ids
+        ]
+
+    shares_a = shares(flow_ids_a)
+    shares_b = shares(flow_ids_b)
+    aggregate = sum(
+        accountant.throughput_bps(fid, cfg.warmup_s, end)
+        for fid in list(flow_ids_a) + list(flow_ids_b)
+    )
+    drop = monitor.loss_rate(cfg.warmup_s, end)
+    return OscillationResult(
+        protocol_a=name_a,
+        protocol_b=name_b,
+        period_s=period_s,
+        shares_a=shares_a,
+        shares_b=shares_b,
+        mean_a=sum(shares_a) / len(shares_a),
+        mean_b=sum(shares_b) / len(shares_b) if shares_b else math.nan,
+        utilization=aggregate / cfg.mean_available_bps,
+        drop_rate=0.0 if math.isnan(drop) else drop,
+    )
+
+
 def run_oscillation(
     protocol_a: Protocol,
     protocol_b: Optional[Protocol],
@@ -385,34 +446,24 @@ def run_oscillation(
             sim, net, protocol_b.make, count=cfg.n_flows_b,
             start_at=0.0, start_jitter_s=2.0, rng=random.Random(cfg.seed + 3),
         )
+    ids_a = [f.flow_id for f in flows_a]
+    ids_b = [f.flow_id for f in flows_b]
+    recorder = active_recorder()
+    if recorder is not None:
+        # Replay needs to know which flows belong to which protocol group.
+        recorder.annotate("oscillation.flows_a", ids_a)
+        recorder.annotate("oscillation.flows_b", ids_b)
     sim.run(until=end)
-
-    n_total = len(flows_a) + len(flows_b)
-    fair_share = cfg.mean_available_bps / n_total
-
-    def shares(flows: list[Flow]) -> list[float]:
-        return [
-            net.accountant.throughput_bps(f.flow_id, cfg.warmup_s, end) / fair_share
-            for f in flows
-        ]
-
-    shares_a = shares(flows_a)
-    shares_b = shares(flows_b)
-    aggregate = sum(
-        net.accountant.throughput_bps(f.flow_id, cfg.warmup_s, end)
-        for f in flows_a + flows_b
-    )
-    drop = net.monitor.loss_rate(cfg.warmup_s, end)
-    return OscillationResult(
-        protocol_a=protocol_a.name,
-        protocol_b=protocol_b.name if protocol_b else None,
-        period_s=period_s,
-        shares_a=shares_a,
-        shares_b=shares_b,
-        mean_a=sum(shares_a) / len(shares_a),
-        mean_b=sum(shares_b) / len(shares_b) if shares_b else math.nan,
-        utilization=aggregate / cfg.mean_available_bps,
-        drop_rate=0.0 if math.isnan(drop) else drop,
+    return measure_oscillation(
+        net.monitor,
+        net.accountant,
+        ids_a,
+        ids_b,
+        protocol_a.name,
+        protocol_b.name if protocol_b else None,
+        period_s,
+        end,
+        cfg,
     )
 
 

@@ -6,6 +6,7 @@ from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     hashing,
     picklability,
     registry_consistency,
+    telemetry,
 )
 
 __all__ = [
@@ -14,4 +15,5 @@ __all__ = [
     "hashing",
     "picklability",
     "registry_consistency",
+    "telemetry",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.net.monitor import FlowAccountant
+from repro.telemetry.measures import FlowMetrics
 
 __all__ = [
     "jain_index",
@@ -33,7 +33,7 @@ def jain_index(rates: Sequence[float]) -> float:
 
 
 def normalized_shares(
-    accountant: FlowAccountant,
+    accountant: FlowMetrics,
     flow_ids: Sequence[int],
     start: float,
     end: float,
@@ -49,7 +49,7 @@ def normalized_shares(
 
 
 def delta_fair_convergence_time(
-    accountant: FlowAccountant,
+    accountant: FlowMetrics,
     flow_a: int,
     flow_b: int,
     start: float,

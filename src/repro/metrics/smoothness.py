@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.net.monitor import FlowAccountant
+from repro.telemetry.measures import FlowMetrics
 
 __all__ = ["SmoothnessResult", "rate_bins", "smoothness", "coefficient_of_variation"]
 
@@ -29,7 +29,7 @@ class SmoothnessResult:
 
 
 def rate_bins(
-    accountant: FlowAccountant,
+    accountant: FlowMetrics,
     flow_id: int,
     bin_s: float,
     start: float,

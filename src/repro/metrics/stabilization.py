@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.net.monitor import LinkMonitor
+from repro.telemetry.measures import LinkMetrics
 
 __all__ = ["StabilizationResult", "measure_stabilization"]
 
@@ -31,7 +31,7 @@ class StabilizationResult:
 
 
 def measure_stabilization(
-    monitor: LinkMonitor,
+    monitor: LinkMetrics,
     congestion_start: float,
     steady_loss_rate: float,
     rtt_s: float,

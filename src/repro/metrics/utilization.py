@@ -9,14 +9,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.net.monitor import FlowAccountant, LinkMonitor
+from repro.telemetry.measures import FlowMetrics, LinkMetrics
 from repro.sim.tracing import TimeSeries
 
 __all__ = ["f_of_k", "flows_f_of_k", "utilization_series"]
 
 
 def f_of_k(
-    monitor: LinkMonitor,
+    monitor: LinkMetrics,
     event_time: float,
     k: int,
     rtt_s: float,
@@ -30,7 +30,7 @@ def f_of_k(
 
 
 def flows_f_of_k(
-    accountant: FlowAccountant,
+    accountant: FlowMetrics,
     flow_ids: Sequence[int],
     available_bps: float,
     event_time: float,
@@ -53,7 +53,7 @@ def flows_f_of_k(
 
 
 def utilization_series(
-    monitor: LinkMonitor, window_s: float, start: float, end: float
+    monitor: LinkMetrics, window_s: float, start: float, end: float
 ) -> TimeSeries:
     """Windowed link utilization samples over [start, end)."""
     series = TimeSeries("utilization")

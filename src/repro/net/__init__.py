@@ -17,7 +17,7 @@ from repro.net.monitor import FlowAccountant, LinkMonitor
 from repro.net.node import Node
 from repro.net.packet import ACK, DATA, FEEDBACK, Packet
 from repro.net.paths import single_path
-from repro.net.queue import DropTailQueue, QueueDiscipline
+from repro.net.queue import DropTailQueue, QueueDiscipline, QueueProbes
 from repro.net.red import REDQueue, red_for_bdp
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "PeriodicDropper",
     "PhaseDropper",
     "QueueDiscipline",
+    "QueueProbes",
     "REDQueue",
     "TimedDropper",
     "mild_bursty_pattern",

@@ -18,6 +18,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.net.packet import Packet
 from repro.sim.rng import deterministic_default_rng
+from repro.telemetry.probes import CounterProbe
 
 __all__ = [
     "Dropper",
@@ -38,7 +39,7 @@ class Dropper:
     def __init__(self, clock: Optional[Callable[[], float]] = None):
         self._downstream: Optional[Callable[[Packet], None]] = None
         self._clock = clock if clock is not None else lambda: 0.0
-        self.drop_times: list[float] = []
+        self.dropped = CounterProbe("drops")
         self.passed = 0
 
     def connect(self, downstream: Callable[[Packet], None]) -> None:
@@ -48,7 +49,7 @@ class Dropper:
         if self._downstream is None:
             raise RuntimeError("dropper is not connected")
         if packet.is_data and self.should_drop(packet):
-            self.drop_times.append(self._clock())
+            self.dropped.increment(self._clock())
             return
         self.passed += 1
         self._downstream(packet)
@@ -57,8 +58,12 @@ class Dropper:
         raise NotImplementedError
 
     @property
+    def drop_times(self) -> Sequence[float]:
+        return self.dropped.event_times
+
+    @property
     def drops(self) -> int:
-        return len(self.drop_times)
+        return self.dropped.count
 
 
 class CountBasedDropper(Dropper):

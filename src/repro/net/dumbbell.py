@@ -21,6 +21,7 @@ from repro.net.queue import DropTailQueue, QueueDiscipline
 from repro.net.red import red_for_bdp
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+from repro.telemetry import active_recorder
 
 __all__ = ["Dumbbell", "HostPair"]
 
@@ -110,11 +111,16 @@ class Dumbbell:
         )
         self.reverse_bottleneck.connect(self.router_left.receive)
 
-        self.monitor = LinkMonitor(sim, "bottleneck")
+        # When an experiment is capturing telemetry, every monitor channel
+        # lands in the active recorder (link.bottleneck.*, flow.<id>.*).
+        self.telemetry = active_recorder()
+        self.monitor = LinkMonitor(sim, "bottleneck", recorder=self.telemetry)
         self.monitor.attach(self.bottleneck)
-        self.reverse_monitor = LinkMonitor(sim, "bottleneck_rev")
+        self.reverse_monitor = LinkMonitor(
+            sim, "bottleneck_rev", recorder=self.telemetry
+        )
         self.reverse_monitor.attach(self.reverse_bottleneck)
-        self.accountant = FlowAccountant(sim)
+        self.accountant = FlowAccountant(sim, recorder=self.telemetry)
 
     # Internals ----------------------------------------------------------------
 

@@ -57,10 +57,21 @@ class Link:
         self._busy = False
         self.bytes_sent = 0
         self.packets_sent = 0
+        self._taps: list[Callable[[Packet], None]] = []
 
     def connect(self, receiver: Callable[[Packet], None]) -> None:
         """Set the downstream receiver (a node's or agent's receive)."""
         self._receiver = receiver
+
+    def add_tap(self, tap: Callable[[Packet], None]) -> None:
+        """Register a departure tap, called once per transmitted packet.
+
+        Taps fire after ``bytes_sent``/``packets_sent`` are updated and
+        before the packet is scheduled for propagation.  This is the
+        sanctioned hook for monitors; it replaces the old practice of
+        monkey-patching ``_transmission_done``.
+        """
+        self._taps.append(tap)
 
     def send(self, packet: Packet) -> None:
         """Offer a packet to the link; it queues, serializes, propagates."""
@@ -81,6 +92,8 @@ class Link:
     def _transmission_done(self, packet: Packet) -> None:
         self.bytes_sent += packet.size
         self.packets_sent += 1
+        for tap in self._taps:
+            tap(packet)
         self.sim.schedule(self.delay_s, self._receiver, packet)
         self._start_transmission()
 

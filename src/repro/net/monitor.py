@@ -1,202 +1,145 @@
 """Measurement taps: link monitors and per-flow accounting.
 
-:class:`LinkMonitor` observes one link's queue (arrivals and drops) and its
-transmitter (departures), producing the loss-rate and utilization series the
-paper's metrics are computed from.  :class:`FlowAccountant` counts delivered
-data per flow at the receivers, producing per-flow throughput.
+:class:`LinkMonitor` and :class:`FlowAccountant` are thin *live
+frontends* over the telemetry measurement bases
+(:class:`~repro.telemetry.measures.LinkMetrics` /
+:class:`~repro.telemetry.measures.FlowMetrics`): they wire simulation
+components (queue probes, link taps, receiver callbacks) into the
+channels and inherit every derived metric — loss rate, utilization,
+per-flow throughput — from the base, so the identical arithmetic runs
+over a trace replayed offline.
+
+When a :class:`~repro.telemetry.recorder.Recorder` is passed (or active
+via :func:`~repro.telemetry.context.capture`), all channels are adopted
+under hierarchical names (``link.<name>.drops``, ``flow.<id>.bytes``)
+and end up in the exported trace.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.net.link import Link
 from repro.net.packet import Packet
+from repro.net.queue import QueueProbes
 from repro.sim.engine import Simulator
-from repro.sim.tracing import TimeSeries
+from repro.telemetry.measures import FlowMetrics, LinkMetrics
+from repro.telemetry.probes import GaugeProbe, SeriesProbe
+from repro.telemetry.recorder import Recorder
+from repro.telemetry.series import TimeSeries
 
 __all__ = ["LinkMonitor", "FlowAccountant"]
 
 
-class LinkMonitor:
-    """Observes arrivals, drops and departures on one link.
+class LinkMonitor(LinkMetrics):
+    """Observes arrivals, drops, marks and departures on one link.
 
-    Attach with :meth:`attach`; the monitor registers itself as the queue's
-    drop observer and wraps the link's delivery path to count departures.
+    Attach with :meth:`attach`; the monitor hands the queue a probe
+    bundle and registers a departure tap on the link (no monkey-patching
+    of link internals).
     """
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "",
+        recorder: Optional[Recorder] = None,
+    ):
+        super().__init__(name=name or "link")
         self.sim = sim
-        self.name = name
-        self.arrival_times: list[float] = []
-        self.drop_times: list[float] = []
-        self.mark_times: list[float] = []  # ECN CE marks (RED marking mode)
-        self.departures = TimeSeries("departed_bytes")
         self._departed_bytes = 0
         self._link: Optional[Link] = None
+        self._queue_sampler = None  # PeriodicTask once sampling starts
+        self._recorder = recorder
+        if recorder is not None:
+            prefix = f"link.{self.name}"
+            recorder.adopt(f"{prefix}.arrivals", self.arrivals)
+            recorder.adopt(f"{prefix}.drops", self.drops)
+            recorder.adopt(f"{prefix}.marks", self.marks)
+            recorder.adopt(f"{prefix}.departed_bytes", self.departures)
+
+    @property
+    def attached(self) -> bool:
+        return self._link is not None
 
     def attach(self, link: Link) -> None:
+        if self._link is not None:
+            raise RuntimeError("monitor is already attached to a link")
         self._link = link
-        link.queue.observer = self
-        original = link._transmission_done
+        self.bandwidth_bps = link.bandwidth_bps
+        link.queue.telemetry = QueueProbes(
+            arrivals=self.arrivals, drops=self.drops, marks=self.marks
+        )
+        link.add_tap(self._on_departure)
+        if self._recorder is not None:
+            self._recorder.annotate(
+                f"link.{self.name}.bandwidth_bps", link.bandwidth_bps
+            )
 
-        def observed_transmission_done(packet: Packet) -> None:
-            self._departed_bytes += packet.size
-            self.departures.append(self.sim.now, self._departed_bytes)
-            original(packet)
+    def _on_departure(self, packet: Packet) -> None:
+        self._departed_bytes += packet.size
+        self.departures.record(self.sim.now, self._departed_bytes)
 
-        link._transmission_done = observed_transmission_done  # type: ignore[method-assign]
-
-    def sample_queue(self, period_s: float) -> TimeSeries:
+    def sample_queue(self, period_s: Optional[float] = None) -> TimeSeries:
         """Start periodic queue-occupancy sampling; returns the series.
 
         The series records (time, packets queued) every ``period_s``
-        seconds for the rest of the simulation — the standing-queue
-        dynamics the paper's Section 2 background discusses.
+        seconds (the recorder's cadence by default) until :meth:`stop`
+        or the end of the simulation — the standing-queue dynamics the
+        paper's Section 2 background discusses.
         """
         if self._link is None:
             raise RuntimeError("monitor is not attached to a link")
+        if period_s is None:
+            if self._recorder is None:
+                raise ValueError("period_s required without a recorder cadence")
+            period_s = self._recorder.cadence_s
         from repro.sim.process import PeriodicTask
 
-        series = TimeSeries("queue_pkts")
         link = self._link
+        if self.queue_depth is None:
+            gauge = GaugeProbe("queue_pkts", read=lambda: float(len(link.queue)))
+            self.queue_depth = gauge
+            if self._recorder is not None:
+                self._recorder.adopt(f"link.{self.name}.queue_pkts", gauge)
+        else:
+            # Restarting (e.g. at a new period) keeps appending to the
+            # same channel rather than shadowing it with a fresh gauge.
+            gauge = self.queue_depth
+            gauge.read = lambda: float(len(link.queue))
 
         def snapshot() -> None:
-            series.append(self.sim.now, float(len(link.queue)))
+            gauge.sample(self.sim.now)
 
+        if self._queue_sampler is not None:
+            self._queue_sampler.stop()
         task = PeriodicTask(self.sim, period_s, snapshot)
         task.start()
-        self._queue_sampler = task  # keep alive, allow later stop()
-        return series
+        self._queue_sampler = task
+        return gauge.series
 
-    # Queue observer protocol -------------------------------------------------
-
-    def on_arrival(self, packet: Packet) -> None:
-        self.arrival_times.append(self.sim.now)
-
-    def on_drop(self, packet: Packet) -> None:
-        self.drop_times.append(self.sim.now)
-
-    def on_mark(self, packet: Packet) -> None:
-        self.mark_times.append(self.sim.now)
-
-    # Derived measurements ----------------------------------------------------
-
-    @staticmethod
-    def _count_in(times: list[float], start: float, end: float) -> int:
-        import bisect
-
-        return bisect.bisect_left(times, end) - bisect.bisect_left(times, start)
-
-    def arrivals_in(self, start: float, end: float) -> int:
-        return self._count_in(self.arrival_times, start, end)
-
-    def drops_in(self, start: float, end: float) -> int:
-        return self._count_in(self.drop_times, start, end)
-
-    def marks_in(self, start: float, end: float) -> int:
-        return self._count_in(self.mark_times, start, end)
-
-    def mark_rate(self, start: float, end: float) -> float:
-        """Fraction of arrivals CE-marked over [start, end); NaN if idle."""
-        arrivals = self.arrivals_in(start, end)
-        if arrivals == 0:
-            return math.nan
-        return self.marks_in(start, end) / arrivals
-
-    def loss_rate(self, start: float, end: float) -> float:
-        """Fraction of arrivals dropped over [start, end); NaN if idle."""
-        arrivals = self.arrivals_in(start, end)
-        if arrivals == 0:
-            return math.nan
-        return self.drops_in(start, end) / arrivals
-
-    def loss_rate_series(
-        self, window_s: float, start: float, end: float, stride_s: float = 0.0
-    ) -> TimeSeries:
-        """Loss rate over a sliding window.
-
-        Each sample at time t is the loss rate over [t - window_s, t).  The
-        paper averages the loss rate over the previous ten RTTs; pass
-        ``window_s = 10 * rtt``.  ``stride_s`` defaults to the window length
-        (non-overlapping windows).
-        """
-        stride = stride_s if stride_s > 0 else window_s
-        series = TimeSeries("loss_rate")
-        t = start + window_s
-        while t <= end:
-            rate = self.loss_rate(t - window_s, t)
-            if not math.isnan(rate):
-                series.append(t, rate)
-            t += stride
-        return series
-
-    def departed_bytes_in(self, start: float, end: float) -> float:
-        def cumulative(t: float) -> float:
-            value = self.departures.last_before(t)
-            return value if value is not None else 0.0
-
-        return cumulative(end) - cumulative(start)
-
-    def utilization(self, start: float, end: float) -> float:
-        """Fraction of the link's capacity used over [start, end)."""
-        if self._link is None:
-            raise RuntimeError("monitor is not attached to a link")
-        capacity_bytes = self._link.bandwidth_bps * (end - start) / 8.0
-        if capacity_bytes <= 0:
-            return 0.0
-        return self.departed_bytes_in(start, end) / capacity_bytes
+    def stop(self) -> None:
+        """Stop periodic sampling; safe to call at any lifecycle stage."""
+        if self._queue_sampler is not None:
+            self._queue_sampler.stop()
+            self._queue_sampler = None
 
 
-class FlowAccountant:
+class FlowAccountant(FlowMetrics):
     """Counts data delivered to receivers, per flow."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, recorder: Optional[Recorder] = None):
+        super().__init__()
         self.sim = sim
-        self._series: dict[int, TimeSeries] = {}
-        self._bytes: dict[int, int] = {}
+        self._recorder = recorder
+
+    def _on_new_flow(self, flow_id: int, probe: SeriesProbe) -> None:
+        if self._recorder is not None:
+            self._recorder.adopt(f"flow.{flow_id}.bytes", probe)
 
     def on_deliver(self, packet: Packet) -> None:
         """Record a data packet that reached its receiver."""
-        flow = packet.flow_id
-        total = self._bytes.get(flow, 0) + packet.size
-        self._bytes[flow] = total
-        series = self._series.get(flow)
-        if series is None:
-            series = TimeSeries(f"flow{flow}_bytes")
-            self._series[flow] = series
-        series.append(self.sim.now, total)
-
-    @property
-    def flows(self) -> list[int]:
-        return sorted(self._series)
-
-    def delivered_bytes(self, flow_id: int, start: float, end: float) -> float:
-        series = self._series.get(flow_id)
-        if series is None:
-            return 0.0
-
-        def cumulative(t: float) -> float:
-            value = series.last_before(t)
-            return value if value is not None else 0.0
-
-        return cumulative(end) - cumulative(start)
-
-    def throughput_bps(self, flow_id: int, start: float, end: float) -> float:
-        """Average delivered rate of one flow over [start, end), bits/s."""
-        duration = end - start
-        if duration <= 0:
-            return 0.0
-        return self.delivered_bytes(flow_id, start, end) * 8.0 / duration
-
-    def rate_series_bps(
-        self, flow_id: int, window_s: float, start: float, end: float
-    ) -> TimeSeries:
-        """Delivered rate sampled over consecutive windows, bits/s."""
-        series = TimeSeries(f"flow{flow_id}_rate")
-        t = start + window_s
-        while t <= end:
-            series.append(t, self.throughput_bps(flow_id, t - window_s, t))
-            t += window_s
-        return series
+        probe = self._flow_probe(packet.flow_id)
+        values = probe.series.values
+        total = (values[-1] if values else 0.0) + packet.size
+        probe.record(self.sim.now, total)

@@ -24,6 +24,7 @@ from repro.net.queue import DropTailQueue, QueueDiscipline
 from repro.net.red import red_for_bdp
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+from repro.telemetry import active_recorder
 
 __all__ = ["ParkingLot"]
 
@@ -74,6 +75,7 @@ class ParkingLot:
         hop_delay = rtt_s / 4.0
         self._access_bw = access_factor * bandwidth_bps
 
+        self.telemetry = active_recorder()
         self.routers = [self._new_node(f"R{i}") for i in range(hops + 1)]
         self.links: list[Link] = []
         self.reverse_links: list[Link] = []
@@ -93,10 +95,10 @@ class ParkingLot:
             backward.connect(self.routers[i].receive)
             self.links.append(forward)
             self.reverse_links.append(backward)
-            monitor = LinkMonitor(sim, f"hop{i}")
+            monitor = LinkMonitor(sim, f"hop{i}", recorder=self.telemetry)
             monitor.attach(forward)
             self.monitors.append(monitor)
-        self.accountant = FlowAccountant(sim)
+        self.accountant = FlowAccountant(sim, recorder=self.telemetry)
 
     # Internals -----------------------------------------------------------------
 

@@ -2,18 +2,23 @@
 
 A queue decides, per arriving packet, whether to enqueue or drop.  The
 owning :class:`~repro.net.link.Link` dequeues packets for transmission.
-Queues report arrivals and drops to an optional observer, which is how the
-per-link :class:`~repro.net.monitor.LinkMonitor` measures loss rates.
+Queues emit arrivals, drops and ECN marks into telemetry probes (a
+:class:`QueueProbes` bundle wired up by the per-link
+:class:`~repro.net.monitor.LinkMonitor`), which is how loss rates are
+measured.  An optional :class:`DropObserver` callback interface is kept
+for ad-hoc per-packet hooks in tests and experiments.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from typing import Callable, Optional, Protocol
 
 from repro.net.packet import Packet
+from repro.telemetry.probes import CounterProbe
 
-__all__ = ["QueueDiscipline", "DropTailQueue", "DropObserver"]
+__all__ = ["QueueDiscipline", "DropTailQueue", "DropObserver", "QueueProbes"]
 
 
 class DropObserver(Protocol):
@@ -22,6 +27,15 @@ class DropObserver(Protocol):
     def on_arrival(self, packet: Packet) -> None: ...
 
     def on_drop(self, packet: Packet) -> None: ...
+
+
+@dataclasses.dataclass
+class QueueProbes:
+    """Telemetry channels a queue emits into (wired by a link monitor)."""
+
+    arrivals: CounterProbe
+    drops: CounterProbe
+    marks: Optional[CounterProbe] = None
 
 
 class QueueDiscipline:
@@ -40,6 +54,7 @@ class QueueDiscipline:
         self._buffer: deque[Packet] = deque()
         self._bytes = 0
         self.observer: Optional[DropObserver] = None
+        self.telemetry: Optional[QueueProbes] = None
         self._clock: Callable[[], float] = lambda: 0.0
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
@@ -59,9 +74,13 @@ class QueueDiscipline:
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet; returns True if enqueued, False if dropped."""
+        if self.telemetry is not None:
+            self.telemetry.arrivals.increment(self._clock())
         if self.observer is not None:
             self.observer.on_arrival(packet)
         if not self.admit(packet):
+            if self.telemetry is not None:
+                self.telemetry.drops.increment(self._clock())
             if self.observer is not None:
                 self.observer.on_drop(packet)
             return False

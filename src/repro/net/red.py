@@ -123,6 +123,8 @@ class REDQueue(QueueDiscipline):
         if self.ecn_marking and packet.ect and self.avg < self.max_thresh:
             packet.ce = True
             self.marks += 1
+            if self.telemetry is not None and self.telemetry.marks is not None:
+                self.telemetry.marks.increment(self._clock())
             on_mark = getattr(self.observer, "on_mark", None)
             if on_mark is not None:
                 on_mark(packet)

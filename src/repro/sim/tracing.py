@@ -1,131 +1,11 @@
-"""Time-series recording and post-processing.
+"""Back-compat shim: time-series tracing now lives in ``repro.telemetry``.
 
-Monitors throughout the simulator append ``(time, value)`` samples to
-:class:`TimeSeries` objects.  The analysis code then slices, windows and
-averages these series to compute the paper's metrics (loss-rate
-stabilization, f(k) utilization, smoothness...).
+:class:`TimeSeries`, :class:`Counter` and :func:`interval_average` moved
+to :mod:`repro.telemetry.series` when measurement was unified into the
+telemetry subsystem.  Import from :mod:`repro.telemetry` (or
+:mod:`repro.sim`, which re-exports) in new code.
 """
 
-from __future__ import annotations
-
-import bisect
-import math
-from typing import Iterable, Iterator, Optional, Sequence
+from repro.telemetry.series import Counter, TimeSeries, interval_average
 
 __all__ = ["TimeSeries", "interval_average", "Counter"]
-
-
-class TimeSeries:
-    """An append-only series of (time, value) samples, sorted by time.
-
-    Appends must be in non-decreasing time order (the simulator clock is
-    monotonic, so this is free).
-    """
-
-    __slots__ = ("_times", "_values", "name")
-
-    def __init__(self, name: str = ""):
-        self.name = name
-        self._times: list[float] = []
-        self._values: list[float] = []
-
-    def __len__(self) -> int:
-        return len(self._times)
-
-    def __iter__(self) -> Iterator[tuple[float, float]]:
-        return iter(zip(self._times, self._values))
-
-    @property
-    def times(self) -> Sequence[float]:
-        return self._times
-
-    @property
-    def values(self) -> Sequence[float]:
-        return self._values
-
-    def append(self, time: float, value: float) -> None:
-        if self._times and time < self._times[-1]:
-            raise ValueError(
-                f"samples must be time-ordered: {time} < {self._times[-1]}"
-            )
-        self._times.append(time)
-        self._values.append(value)
-
-    def window(self, start: float, end: float) -> "TimeSeries":
-        """Samples with start <= time < end, as a new series."""
-        lo = bisect.bisect_left(self._times, start)
-        hi = bisect.bisect_left(self._times, end)
-        out = TimeSeries(self.name)
-        out._times = self._times[lo:hi]
-        out._values = self._values[lo:hi]
-        return out
-
-    def mean(self) -> float:
-        """Unweighted mean of sample values; NaN when empty."""
-        if not self._values:
-            return math.nan
-        return sum(self._values) / len(self._values)
-
-    def max(self) -> float:
-        return max(self._values) if self._values else math.nan
-
-    def last_before(self, time: float) -> Optional[float]:
-        """Value of the latest sample at or before ``time``."""
-        idx = bisect.bisect_right(self._times, time) - 1
-        if idx < 0:
-            return None
-        return self._values[idx]
-
-    def resample(self, period: float, start: float, end: float) -> "TimeSeries":
-        """Step-function resampling at a fixed period (sample-and-hold)."""
-        out = TimeSeries(self.name)
-        t = start
-        while t < end:
-            value = self.last_before(t)
-            if value is not None:
-                out.append(t, value)
-            t += period
-        return out
-
-
-def interval_average(
-    samples: Iterable[tuple[float, float]], start: float, end: float
-) -> float:
-    """Average value of samples with start <= t < end; NaN when none."""
-    total = 0.0
-    count = 0
-    for t, v in samples:
-        if start <= t < end:
-            total += v
-            count += 1
-    return total / count if count else math.nan
-
-
-class Counter:
-    """A cumulative event counter with timestamped checkpoints.
-
-    Used by monitors to turn raw counts (packets forwarded, packets dropped)
-    into rates over arbitrary windows.
-    """
-
-    __slots__ = ("_series", "_count")
-
-    def __init__(self) -> None:
-        self._count = 0
-        self._series = TimeSeries()
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    def increment(self, time: float, amount: int = 1) -> None:
-        self._count += amount
-        self._series.append(time, self._count)
-
-    def count_in(self, start: float, end: float) -> int:
-        """Number of increments with start < t <= end."""
-        before_start = self._series.last_before(start)
-        before_end = self._series.last_before(end)
-        lo = int(before_start) if before_start is not None else 0
-        hi = int(before_end) if before_end is not None else 0
-        return hi - lo

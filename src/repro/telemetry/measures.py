@@ -1,0 +1,175 @@
+"""Measurement views over telemetry channels: link and flow metrics.
+
+These classes hold the *arithmetic* of the paper's measurements — loss
+rate, utilization, per-flow throughput — decoupled from how the samples
+got there.  Live monitors (:class:`repro.net.monitor.LinkMonitor`,
+:class:`repro.net.monitor.FlowAccountant`) subclass them and fill the
+probes during simulation; :class:`repro.telemetry.trace.TraceReader`
+builds bare instances from a saved trace.  Because both paths run the
+same code over the same floats (JSON round-trips doubles exactly), a
+replayed metric is bit-identical to the live one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.telemetry.probes import CounterProbe, GaugeProbe, SeriesProbe
+from repro.telemetry.series import TimeSeries
+
+__all__ = ["LinkMetrics", "FlowMetrics"]
+
+
+class LinkMetrics:
+    """Arrival/drop/mark/departure channels of one link, plus derived rates.
+
+    All windowed counts use the half-open convention ``[start, end)``.
+    """
+
+    def __init__(self, name: str = "link", bandwidth_bps: Optional[float] = None):
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.arrivals = CounterProbe("arrivals")
+        self.drops = CounterProbe("drops")
+        self.marks = CounterProbe("marks")  # ECN CE marks (RED marking mode)
+        self.departures = SeriesProbe("departed_bytes")
+        self.queue_depth: Optional[GaugeProbe] = None
+
+    # Back-compat views of the raw event timestamps ---------------------------
+
+    @property
+    def arrival_times(self) -> Sequence[float]:
+        return self.arrivals.event_times
+
+    @property
+    def drop_times(self) -> Sequence[float]:
+        return self.drops.event_times
+
+    @property
+    def mark_times(self) -> Sequence[float]:
+        return self.marks.event_times
+
+    # Derived measurements ----------------------------------------------------
+
+    def arrivals_in(self, start: float, end: float) -> int:
+        return self.arrivals.count_in(start, end)
+
+    def drops_in(self, start: float, end: float) -> int:
+        return self.drops.count_in(start, end)
+
+    def marks_in(self, start: float, end: float) -> int:
+        return self.marks.count_in(start, end)
+
+    def mark_rate(self, start: float, end: float) -> float:
+        """Fraction of arrivals CE-marked over [start, end); NaN if idle."""
+        arrivals = self.arrivals_in(start, end)
+        if arrivals == 0:
+            return math.nan
+        return self.marks_in(start, end) / arrivals
+
+    def loss_rate(self, start: float, end: float) -> float:
+        """Fraction of arrivals dropped over [start, end); NaN if idle."""
+        arrivals = self.arrivals_in(start, end)
+        if arrivals == 0:
+            return math.nan
+        return self.drops_in(start, end) / arrivals
+
+    def loss_rate_series(
+        self, window_s: float, start: float, end: float, stride_s: float = 0.0
+    ) -> TimeSeries:
+        """Loss rate over a sliding window.
+
+        Each sample at time t is the loss rate over [t - window_s, t).  The
+        paper averages the loss rate over the previous ten RTTs; pass
+        ``window_s = 10 * rtt``.  ``stride_s`` defaults to the window length
+        (non-overlapping windows).  Window edges are computed by integer
+        index (``start + window_s + i * stride``) so accumulated rounding
+        error cannot skew the boundaries on long runs.
+        """
+        stride = stride_s if stride_s > 0 else window_s
+        series = TimeSeries("loss_rate")
+        i = 0
+        while True:
+            t = start + window_s + i * stride
+            if t > end:
+                break
+            rate = self.loss_rate(t - window_s, t)
+            if not math.isnan(rate):
+                series.append(t, rate)
+            i += 1
+        return series
+
+    def departed_bytes_in(self, start: float, end: float) -> float:
+        def cumulative(t: float) -> float:
+            value = self.departures.series.last_before(t)
+            return value if value is not None else 0.0
+
+        return cumulative(end) - cumulative(start)
+
+    def utilization(self, start: float, end: float) -> float:
+        """Fraction of the link's capacity used over [start, end)."""
+        if self.bandwidth_bps is None:
+            raise RuntimeError("link bandwidth unknown (monitor not attached?)")
+        capacity_bytes = self.bandwidth_bps * (end - start) / 8.0
+        if capacity_bytes <= 0:
+            return 0.0
+        return self.departed_bytes_in(start, end) / capacity_bytes
+
+
+class FlowMetrics:
+    """Per-flow cumulative delivered-bytes channels and derived throughput."""
+
+    def __init__(self) -> None:
+        self._probes: dict[int, SeriesProbe] = {}
+
+    def _flow_probe(self, flow_id: int) -> SeriesProbe:
+        probe = self._probes.get(flow_id)
+        if probe is None:
+            probe = SeriesProbe(f"flow{flow_id}_bytes")
+            self._probes[flow_id] = probe
+            self._on_new_flow(flow_id, probe)
+        return probe
+
+    def _on_new_flow(self, flow_id: int, probe: SeriesProbe) -> None:
+        """Hook: live accountants adopt the probe into a recorder here."""
+
+    @property
+    def flows(self) -> list[int]:
+        return sorted(self._probes)
+
+    def delivered_bytes(self, flow_id: int, start: float, end: float) -> float:
+        probe = self._probes.get(flow_id)
+        if probe is None:
+            return 0.0
+        series = probe.series
+
+        def cumulative(t: float) -> float:
+            value = series.last_before(t)
+            return value if value is not None else 0.0
+
+        return cumulative(end) - cumulative(start)
+
+    def throughput_bps(self, flow_id: int, start: float, end: float) -> float:
+        """Average delivered rate of one flow over [start, end), bits/s."""
+        duration = end - start
+        if duration <= 0:
+            return 0.0
+        return self.delivered_bytes(flow_id, start, end) * 8.0 / duration
+
+    def rate_series_bps(
+        self, flow_id: int, window_s: float, start: float, end: float
+    ) -> TimeSeries:
+        """Delivered rate sampled over consecutive windows, bits/s.
+
+        Window edges are computed by integer index to avoid float drift.
+        """
+        series = TimeSeries(f"flow{flow_id}_rate")
+        i = 0
+        while True:
+            t = start + window_s + i * window_s
+            if t > end:
+                break
+            series.append(t, self.throughput_bps(flow_id, t - window_s, t))
+            i += 1
+        return series

@@ -1,0 +1,168 @@
+"""Typed probe handles: the write-side API of the telemetry plane.
+
+A probe is a small, cheap handle a component holds onto and emits into
+whenever something measurable happens.  Probes work standalone (a
+dropper counts its drops whether or not anyone is recording) and can be
+*adopted* by a :class:`~repro.telemetry.recorder.Recorder` under a
+hierarchical channel name, which is what makes them exportable.
+
+Three kinds:
+
+``CounterProbe``
+    Timestamped cumulative event counts (arrivals, drops, timeouts).
+``SeriesProbe``
+    Explicit (time, value) samples (cwnd trace, cumulative bytes).
+``GaugeProbe``
+    A series fed by polling a ``read()`` callable at a sampling cadence
+    (queue occupancy).
+"""
+
+from __future__ import annotations
+
+import bisect
+from array import array
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.telemetry.series import TimeSeries
+
+__all__ = ["Probe", "CounterProbe", "SeriesProbe", "GaugeProbe"]
+
+
+class Probe:
+    """Base class for telemetry channels; defines the export surface."""
+
+    kind: str = ""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+
+    @property
+    def times(self) -> Sequence[float]:
+        raise NotImplementedError
+
+    @property
+    def values(self) -> Sequence[float]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def snapshot(self) -> dict:
+        """Channel payload for trace export (JSON-compatible)."""
+        return {
+            "kind": self.kind,
+            "times": list(self.times),
+            "values": list(self.values),
+        }
+
+
+class CounterProbe(Probe):
+    """Cumulative event counter with per-event timestamps.
+
+    Stores event times and the running total in parallel ``array('d')``
+    buffers, so windowed counts are two bisects — no per-event tuple
+    objects, and half-open ``[start, end)`` semantics to match
+    :class:`~repro.telemetry.series.Counter`.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._times: array = array("d")
+        self._totals: array = array("d")
+
+    @property
+    def times(self) -> Sequence[float]:
+        return self._times
+
+    @property
+    def values(self) -> Sequence[float]:
+        return self._totals
+
+    @property
+    def event_times(self) -> Sequence[float]:
+        return self._times
+
+    @property
+    def count(self) -> int:
+        return int(self._totals[-1]) if self._totals else 0
+
+    def increment(self, time: float, amount: float = 1) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"events must be time-ordered: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._totals.append((self._totals[-1] if self._totals else 0.0) + amount)
+
+    def count_in(self, start: float, end: float) -> int:
+        """Total amount incremented over the half-open window [start, end)."""
+
+        def cumulative_before(t: float) -> float:
+            idx = bisect.bisect_left(self._times, t) - 1
+            return self._totals[idx] if idx >= 0 else 0.0
+
+        return int(cumulative_before(end) - cumulative_before(start))
+
+    def load(self, times: Sequence[float], totals: Sequence[float]) -> None:
+        """Replace contents from an exported snapshot (trace replay)."""
+        self._times = array("d", times)
+        self._totals = array("d", totals)
+
+
+class SeriesProbe(Probe):
+    """Explicit (time, value) samples, backed by a :class:`TimeSeries`.
+
+    Can wrap an existing series (``SeriesProbe(series=ts)``) so legacy
+    structures become recordable channels without copying.
+    """
+
+    kind = "series"
+
+    def __init__(self, name: str = "", series: Optional[TimeSeries] = None):
+        super().__init__(name)
+        self.series = series if series is not None else TimeSeries(name)
+
+    @property
+    def times(self) -> Sequence[float]:
+        return self.series.times
+
+    @property
+    def values(self) -> Sequence[float]:
+        return self.series.values
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(self.series)
+
+    def record(self, time: float, value: float) -> None:
+        self.series.append(time, value)
+
+    def load(self, times: Sequence[float], values: Sequence[float]) -> None:
+        """Replace contents from an exported snapshot (trace replay)."""
+        fresh = TimeSeries(self.series.name)
+        fresh.extend(times, values)
+        self.series = fresh
+
+
+class GaugeProbe(SeriesProbe):
+    """A series fed by sampling a ``read()`` callable.
+
+    The owner (or a :class:`PeriodicTask`) calls :meth:`sample` at the
+    recording cadence; each call reads the current value and appends it.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str = "", read: Optional[Callable[[], float]] = None
+    ):
+        super().__init__(name)
+        self.read = read
+
+    def sample(self, time: float) -> float:
+        if self.read is None:
+            raise RuntimeError(f"gauge {self.name!r} has no read() callable")
+        value = float(self.read())
+        self.record(time, value)
+        return value

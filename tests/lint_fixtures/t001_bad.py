@@ -1,0 +1,11 @@
+"""T001 fixture: bare measurement lists that should be telemetry probes."""
+
+
+class Monitor:
+    def __init__(self):
+        self.drop_times = []  # line 6: counter-shaped measurement
+        self._cwnd_trace = list()  # line 7: list() spelling
+        self._queue_samples: list[float] = []  # line 8: annotated form
+
+    def reset(self):
+        self.rate_series = [0.0 for _ in range(4)]  # line 11: comprehension

@@ -1,0 +1,15 @@
+"""T001 fixture: probes and honestly-named algorithm state; nothing to flag."""
+
+from repro.telemetry.probes import CounterProbe, SeriesProbe
+
+
+class Monitor:
+    def __init__(self):
+        self.drops = CounterProbe("drops")  # measurement -> probe
+        self.rate = SeriesProbe("rate")
+        self._recent_acks = []  # algorithm state under an honest name
+        self.pending = list()  # not measurement-named
+
+    def local_scratch(self):
+        times = []  # plain local, not a self attribute
+        return times

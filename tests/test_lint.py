@@ -163,6 +163,37 @@ class TestE001:
 
 
 # ---------------------------------------------------------------------------
+# T001: measurement storage must be telemetry probes
+# ---------------------------------------------------------------------------
+
+
+class TestT001:
+    def test_bad_fixture_flags_bare_measurement_lists(self):
+        report = lint_fixture("t001_bad", NET, "T001")
+        assert all(f.rule == "T001" for f in report.findings)
+        # plain list, list() spelling, annotated form, comprehension
+        assert lines(report) == [6, 7, 8, 11]
+
+    def test_probes_and_honest_state_pass(self):
+        assert lint_fixture("t001_ok", NET, "T001").ok
+
+    def test_rule_is_scoped_to_sim_packages(self):
+        # The telemetry package itself (and the experiment layer) may
+        # hold raw lists — probes need internal storage somewhere.
+        assert lint_fixture("t001_bad", EXPERIMENTS, "T001").ok
+
+    def test_suppression_requires_a_reason(self):
+        src = (
+            "class M:\n"
+            "    def __init__(self):\n"
+            "        self.drop_times = []  # simlint: disable=T001\n"
+        )
+        report = lint_sources({NET: src}, select={"T001"})
+        assert len(report.findings) == 1
+        assert "requires a justification" in report.findings[0].message
+
+
+# ---------------------------------------------------------------------------
 # R001: registry consistency (project-wide rule)
 # ---------------------------------------------------------------------------
 
@@ -330,6 +361,7 @@ class TestEngine:
             "H001",
             "R001",
             "E001",
+            "T001",
         }
 
 

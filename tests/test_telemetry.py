@@ -1,0 +1,337 @@
+"""Tests for the telemetry subsystem (``repro.telemetry``).
+
+Covers the typed probes, the recorder's channel namespace, capture
+contexts, probe emission ordering under the event loop, and the JSONL
+trace export / :class:`TraceReader` round trip.
+"""
+
+import math
+
+import pytest
+
+from repro.net import Dumbbell
+from repro.sim import Simulator
+from repro.telemetry import (
+    CounterProbe,
+    GaugeProbe,
+    Recorder,
+    SeriesProbe,
+    TraceReader,
+    active_recorder,
+    capture,
+)
+
+
+# ---------------------------------------------------------------------------
+# Probes
+# ---------------------------------------------------------------------------
+
+
+class TestCounterProbe:
+    def test_count_and_event_times(self):
+        probe = CounterProbe("drops")
+        for t in (1.0, 2.0, 2.0, 5.0):
+            probe.increment(t)
+        assert probe.count == 4
+        assert list(probe.event_times) == [1.0, 2.0, 2.0, 5.0]
+
+    def test_count_in_is_half_open(self):
+        probe = CounterProbe()
+        for t in (1.0, 2.0, 3.0):
+            probe.increment(t)
+        assert probe.count_in(1.0, 3.0) == 2  # start included, end excluded
+        assert probe.count_in(1.0, 3.5) == 3
+        # adjacent windows tile without double counting
+        assert probe.count_in(0.0, 2.0) + probe.count_in(2.0, 4.0) == 3
+
+    def test_amount_accumulates(self):
+        probe = CounterProbe()
+        probe.increment(0.0, amount=1000)
+        probe.increment(1.0, amount=500)
+        assert probe.count == 1500
+        assert probe.count_in(0.5, 2.0) == 500
+
+    def test_rejects_time_regression(self):
+        probe = CounterProbe()
+        probe.increment(2.0)
+        with pytest.raises(ValueError):
+            probe.increment(1.0)
+
+    def test_load_round_trip(self):
+        probe = CounterProbe("drops")
+        probe.increment(1.0)
+        probe.increment(4.0, amount=2)
+        snap = probe.snapshot()
+        clone = CounterProbe("drops")
+        clone.load(snap["times"], snap["values"])
+        assert clone.count == probe.count
+        assert clone.count_in(0.0, 2.0) == probe.count_in(0.0, 2.0)
+
+
+class TestSeriesProbe:
+    def test_record_and_iterate(self):
+        probe = SeriesProbe("cwnd")
+        probe.record(0.0, 1.0)
+        probe.record(1.0, 2.0)
+        assert list(probe) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(probe) == 2
+
+    def test_rejects_decreasing_times(self):
+        probe = SeriesProbe()
+        probe.record(1.0, 0.0)
+        with pytest.raises(ValueError):
+            probe.record(0.5, 0.0)
+
+    def test_wraps_an_existing_series(self):
+        from repro.telemetry import TimeSeries
+
+        ts = TimeSeries("legacy")
+        ts.append(0.0, 7.0)
+        probe = SeriesProbe("legacy", series=ts)
+        probe.record(1.0, 8.0)
+        assert list(ts) == [(0.0, 7.0), (1.0, 8.0)]
+
+
+class TestGaugeProbe:
+    def test_sample_reads_the_callable(self):
+        depth = [0]
+        gauge = GaugeProbe("queue", read=lambda: depth[0])
+        gauge.sample(0.0)
+        depth[0] = 3
+        gauge.sample(1.0)
+        assert list(gauge) == [(0.0, 0.0), (1.0, 3.0)]
+
+    def test_sample_without_read_raises(self):
+        with pytest.raises(RuntimeError):
+            GaugeProbe("queue").sample(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Recorder and capture contexts
+# ---------------------------------------------------------------------------
+
+
+class TestRecorder:
+    def test_create_or_get_returns_the_same_probe(self):
+        rec = Recorder()
+        assert rec.counter("a.drops") is rec.counter("a.drops")
+        assert rec.series("a.rate") is rec.series("a.rate")
+
+    def test_kind_mismatch_raises(self):
+        rec = Recorder()
+        rec.counter("x")
+        with pytest.raises(TypeError):
+            rec.series("x")
+
+    def test_adopt_is_idempotent_for_the_same_probe(self):
+        rec = Recorder()
+        probe = CounterProbe("drops")
+        assert rec.adopt("link.b.drops", probe) is probe
+        assert rec.adopt("link.b.drops", probe) is probe
+
+    def test_adopting_a_different_probe_is_an_error(self):
+        rec = Recorder()
+        rec.adopt("link.b.drops", CounterProbe())
+        with pytest.raises(ValueError):
+            rec.adopt("link.b.drops", CounterProbe())
+
+    def test_annotate(self):
+        rec = Recorder()
+        rec.annotate("flows", [1, 2])
+        assert rec.meta["flows"] == [1, 2]
+
+
+class TestCapture:
+    def test_stack_discipline(self):
+        assert active_recorder() is None
+        with capture() as outer:
+            assert active_recorder() is outer
+            with capture(Recorder()) as inner:
+                assert active_recorder() is inner
+            assert active_recorder() is outer
+        assert active_recorder() is None
+
+    def test_stack_unwinds_on_error(self):
+        with pytest.raises(RuntimeError):
+            with capture():
+                raise RuntimeError("boom")
+        assert active_recorder() is None
+
+
+# ---------------------------------------------------------------------------
+# Emission ordering under the event loop
+# ---------------------------------------------------------------------------
+
+
+def _run_traffic(recorder):
+    """A small dumbbell run with one TCP flow, captured into ``recorder``."""
+    from repro.cc.tcp import new_tcp_flow
+
+    with capture(recorder):
+        sim = Simulator()
+        net = Dumbbell(sim, bandwidth_bps=1e6, rtt_s=0.05)
+        sender, receiver = new_tcp_flow(sim)
+        from repro.cc.base import establish
+
+        establish(net, sender, receiver)
+        net.monitor.sample_queue(0.05)
+        sender.start()
+        sim.run(until=4.0)
+    return sim, net
+
+
+class TestEventLoopEmission:
+    def test_channels_are_adopted_and_time_ordered(self):
+        rec = Recorder()
+        sim, net = _run_traffic(rec)
+        for expected in (
+            "link.bottleneck.arrivals",
+            "link.bottleneck.drops",
+            "link.bottleneck.departed_bytes",
+            "link.bottleneck.queue_pkts",
+            "flow.0.bytes",
+            "flow.0.cwnd",
+            "flow.0.timeouts",
+        ):
+            assert expected in rec.channels, expected
+        for name, probe in rec.channels.items():
+            times = list(probe.times)
+            assert times == sorted(times), name
+        assert rec.meta["link.bottleneck.bandwidth_bps"] == 1e6
+
+    def test_channel_data_matches_the_live_monitor(self):
+        rec = Recorder()
+        sim, net = _run_traffic(rec)
+        arrivals = rec.channels["link.bottleneck.arrivals"]
+        assert arrivals is net.monitor.arrivals  # adopted, not copied
+        assert arrivals.count == net.monitor.arrivals_in(0.0, sim.now + 1.0)
+        assert arrivals.count > 0
+
+    def test_queue_sampler_lifecycle(self):
+        sim = Simulator()
+        net = Dumbbell(sim, bandwidth_bps=1e6, rtt_s=0.05)
+        series = net.monitor.sample_queue(0.5)
+        sim.run(until=2.0)
+        n_running = len(series)
+        assert n_running >= 3  # sampled at the requested cadence
+        net.monitor.stop()
+        sim.run(until=4.0)
+        assert len(series) == n_running  # stop() really stops the task
+        # restarting reuses the same gauge channel rather than shadowing
+        assert net.monitor.sample_queue(0.5) is series
+
+    def test_sample_queue_requires_attachment(self):
+        from repro.net.monitor import LinkMonitor
+
+        monitor = LinkMonitor(Simulator())
+        with pytest.raises(RuntimeError):
+            monitor.sample_queue(0.1)
+
+    def test_sample_queue_default_period_needs_a_cadence(self):
+        sim = Simulator()
+        net = Dumbbell(sim, bandwidth_bps=1e6, rtt_s=0.05)
+        with pytest.raises(ValueError):
+            net.monitor.sample_queue()  # no recorder to take a cadence from
+
+
+# ---------------------------------------------------------------------------
+# Trace export -> TraceReader round trip
+# ---------------------------------------------------------------------------
+
+
+class TestTraceRoundTrip:
+    def _recorder(self):
+        rec = Recorder()
+        drops = rec.counter("link.b.drops")
+        drops.increment(0.5)
+        drops.increment(1.25, amount=2)
+        rate = rec.series("flow.0.rate")
+        rate.record(0.0, 10.0)
+        rate.record(1.0, 12.5)
+        gauge = rec.gauge("link.b.queue_pkts", read=lambda: 4.0)
+        gauge.sample(0.75)
+        rec.annotate("link.b.bandwidth_bps", 1e6)
+        return rec
+
+    def test_loads_rebuilds_every_channel(self):
+        rec = self._recorder()
+        reader = TraceReader.loads(rec.export_text())
+        assert set(reader.channels) == set(rec.channels)
+        for name, probe in rec.channels.items():
+            clone = reader.channel(name)
+            assert clone.kind == probe.kind, name
+            assert clone.snapshot() == probe.snapshot(), name
+        assert reader.meta == rec.meta
+
+    def test_export_file_round_trip(self, tmp_path):
+        rec = self._recorder()
+        path = rec.export(tmp_path / "trace.jsonl")
+        reader = TraceReader.from_file(path)
+        assert reader.counter("link.b.drops").count == 3
+
+    def test_export_is_deterministic(self):
+        assert self._recorder().export_text() == self._recorder().export_text()
+
+    def test_link_layout(self):
+        rec = self._recorder()
+        reader = TraceReader.loads(rec.export_text())
+        link = reader.link("b")
+        assert link.drops_in(0.0, 1.0) == 1
+        assert link.drops_in(0.0, 2.0) == 3
+        assert link.bandwidth_bps == 1e6
+        with pytest.raises(KeyError):
+            reader.link("nope")
+
+    def test_flows_layout(self):
+        rec = Recorder()
+        probe = rec.series("flow.3.bytes")
+        probe.record(1.0, 1000.0)
+        probe.record(2.0, 3000.0)
+        reader = TraceReader.loads(rec.export_text())
+        flows = reader.flows()
+        assert flows.flows == [3]
+        assert flows.delivered_bytes(3, 0.0, 2.5) == 3000
+        # delivery windows include samples at t == end (accountant convention)
+        assert flows.throughput_bps(3, 0.0, 2.0) == pytest.approx(
+            3000 * 8 / 2.0
+        )
+
+    def test_unknown_channel_names_the_alternatives(self):
+        reader = TraceReader.loads(self._recorder().export_text())
+        with pytest.raises(KeyError, match="available"):
+            reader.channel("link.b.ghost")
+
+    def test_rejects_non_trace_text(self):
+        with pytest.raises(ValueError):
+            TraceReader.loads("")
+        with pytest.raises(ValueError):
+            TraceReader.loads('{"not": "a trace"}\n')
+
+    def test_kind_accessors_check_types(self):
+        reader = TraceReader.loads(self._recorder().export_text())
+        with pytest.raises(TypeError):
+            reader.counter("flow.0.rate")
+        with pytest.raises(TypeError):
+            reader.series("link.b.drops")
+
+
+class TestSimulationTraceRoundTrip:
+    def test_replayed_metrics_match_live(self):
+        rec = Recorder()
+        sim, net = _run_traffic(rec)
+        reader = TraceReader.loads(rec.export_text())
+        live, replayed = net.monitor, reader.link("bottleneck")
+        for start, end in ((0.0, 1.0), (1.0, 2.5), (0.0, 4.0)):
+            assert replayed.arrivals_in(start, end) == live.arrivals_in(start, end)
+            assert replayed.drops_in(start, end) == live.drops_in(start, end)
+            live_loss = live.loss_rate(start, end)
+            replay_loss = replayed.loss_rate(start, end)
+            assert (math.isnan(live_loss) and math.isnan(replay_loss)) or (
+                replay_loss == live_loss
+            )
+        flows = reader.flows()
+        assert flows.flows == net.accountant.flows
+        for fid in flows.flows:
+            assert flows.throughput_bps(fid, 0.0, 4.0) == (
+                net.accountant.throughput_bps(fid, 0.0, 4.0)
+            )
