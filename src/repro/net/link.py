@@ -33,6 +33,16 @@ class Link:
         Queueing discipline; DropTail with a generous buffer by default.
     name:
         Label used in monitors and debugging output.
+
+    Notes
+    -----
+    The packet being serialized is *dequeued* from the queue for the
+    duration of its transmission and exposed as :attr:`in_service`
+    (``None`` while the link is idle).  Total occupancy behind a busy
+    link is therefore ``len(link.queue) + 1``: ``capacity_pkts`` waiting
+    packets plus the one in service.  See
+    :class:`~repro.net.queue.QueueDiscipline` for the accounting
+    contract.
     """
 
     def __init__(
@@ -55,9 +65,12 @@ class Link:
         self.name = name
         self._receiver: Optional[Callable[[Packet], None]] = None
         self._busy = False
+        self.in_service: Optional[Packet] = None
         self.bytes_sent = 0
         self.packets_sent = 0
         self._taps: list[Callable[[Packet], None]] = []
+        # Per-packet constants, hoisted off the transmission fast path.
+        self._tx_per_byte = 8.0 / bandwidth_bps
 
     def connect(self, receiver: Callable[[Packet], None]) -> None:
         """Set the downstream receiver (a node's or agent's receive)."""
@@ -77,24 +90,51 @@ class Link:
         """Offer a packet to the link; it queues, serializes, propagates."""
         if self._receiver is None:
             raise RuntimeError(f"link {self.name!r} is not connected")
-        if self.queue.enqueue(packet) and not self._busy:
+        queue = self.queue
+        if (
+            not self._busy
+            and queue.bypass_idle
+            and not queue._buffer
+            and queue.telemetry is None
+            and queue.observer is None
+        ):
+            # Idle-link fast path: a packet arriving at an idle link with
+            # an empty passive queue would be enqueued and immediately
+            # dequeued by _start_transmission.  Skip the round trip; this
+            # is the common case on over-provisioned access links.
+            # Only unobserved queues that declare themselves side-effect
+            # free take it (RED must see every arrival for its average
+            # estimator; monitored queues must count every arrival).
+            packet.enqueued_at = self.sim.now
+            self._busy = True
+            self.in_service = packet
+            self.sim.call_in(
+                packet.size * self._tx_per_byte, self._transmission_done, packet
+            )
+            return
+        if queue.enqueue(packet) and not self._busy:
             self._start_transmission()
 
     def _start_transmission(self) -> None:
         packet = self.queue.dequeue()
         if packet is None:
             self._busy = False
+            self.in_service = None
             return
         self._busy = True
-        tx_time = packet.size * 8.0 / self.bandwidth_bps
-        self.sim.schedule(tx_time, self._transmission_done, packet)
+        self.in_service = packet
+        # Fire-and-forget: per-packet link events are never cancelled.
+        self.sim.call_in(
+            packet.size * self._tx_per_byte, self._transmission_done, packet
+        )
 
     def _transmission_done(self, packet: Packet) -> None:
         self.bytes_sent += packet.size
         self.packets_sent += 1
-        for tap in self._taps:
-            tap(packet)
-        self.sim.schedule(self.delay_s, self._receiver, packet)
+        if self._taps:
+            for tap in self._taps:
+                tap(packet)
+        self.sim.call_in(self.delay_s, self._receiver, packet)
         self._start_transmission()
 
     def utilization(self, start: float, end: float, bytes_in_window: float) -> float:

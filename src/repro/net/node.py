@@ -70,7 +70,14 @@ class Node:
             # Packets for unbound flows (e.g. a stopped agent) are dropped
             # silently, as a real host would discard them.
             return
-        self._forward(packet)
+        # _forward, inlined: receive is on the per-packet hot path for
+        # every router hop, and the extra call shows up in profiles.
+        link = self._routes.get(packet.dst, self._default_route)
+        if link is None:
+            raise RuntimeError(
+                f"{self.name}: no route for packet to {packet.dst}"
+            )
+        link.send(packet)
 
     def _forward(self, packet: Packet) -> None:
         link = self._routes.get(packet.dst, self._default_route)

@@ -44,8 +44,24 @@ class QueueDiscipline:
     Parameters
     ----------
     capacity_pkts:
-        Maximum number of packets held (including the one in service).
+        Maximum number of packets *waiting* in the buffer.  The packet
+        currently being transmitted is **not** counted: the owning
+        :class:`~repro.net.link.Link` dequeues it for the duration of its
+        serialization and exposes it as ``link.in_service``.  A busy link
+        with a capacity-N drop-tail queue therefore holds up to N + 1
+        packets in total (N queued + 1 in service) — the ns-2 convention,
+        where the buffer and the transmitter are separate stages.  This
+        is pinned by regression tests; changing it to "N including the
+        one in service" would shrink every buffer by one packet and
+        perturb all figure tables.
     """
+
+    #: Whether the owning link may skip the enqueue/dequeue round trip for
+    #: a packet arriving at an idle link with an empty buffer.  True for
+    #: passive FIFO disciplines whose admit/dequeue have no side effects;
+    #: disciplines with per-arrival state (RED's average-queue estimator)
+    #: must override this to False.
+    bypass_idle = True
 
     def __init__(self, capacity_pkts: int):
         if capacity_pkts < 1:
@@ -74,17 +90,20 @@ class QueueDiscipline:
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet; returns True if enqueued, False if dropped."""
-        if self.telemetry is not None:
-            self.telemetry.arrivals.increment(self._clock())
-        if self.observer is not None:
-            self.observer.on_arrival(packet)
+        telemetry = self.telemetry
+        observer = self.observer
+        now = self._clock()
+        if telemetry is not None:
+            telemetry.arrivals.increment(now)
+        if observer is not None:
+            observer.on_arrival(packet)
         if not self.admit(packet):
-            if self.telemetry is not None:
-                self.telemetry.drops.increment(self._clock())
-            if self.observer is not None:
-                self.observer.on_drop(packet)
+            if telemetry is not None:
+                telemetry.drops.increment(now)
+            if observer is not None:
+                observer.on_drop(packet)
             return False
-        packet.enqueued_at = self._clock()
+        packet.enqueued_at = now
         self._buffer.append(packet)
         self._bytes += packet.size
         return True

@@ -26,6 +26,10 @@ __all__ = ["REDQueue", "red_for_bdp"]
 class REDQueue(QueueDiscipline):
     """RED AQM in packet mode.
 
+    ``bypass_idle`` is False: the average-queue estimator must observe
+    every arrival and every drain-to-idle, so the owning link may never
+    skip ``enqueue``/``dequeue`` for this discipline.
+
     Parameters
     ----------
     capacity_pkts:
@@ -60,6 +64,7 @@ class REDQueue(QueueDiscipline):
         ecn_marking: bool = False,
     ):
         super().__init__(capacity_pkts)
+        self.bypass_idle = False  # estimator needs every arrival/drain
         if not 0 < min_thresh < max_thresh:
             raise ValueError("need 0 < min_thresh < max_thresh")
         if not 0 < max_p <= 1:

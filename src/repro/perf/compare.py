@@ -1,0 +1,132 @@
+"""Regression deltas between two BENCH documents.
+
+``python -m repro bench --compare OLD NEW`` aligns benchmark entries by
+name and reports per-entry deltas — new/old ``per_op_ns`` ratio,
+percentage change, and a coarse classification (``faster`` / ``slower``
+/ ``~`` within a noise band).  Entries present in only one file are
+reported as added or removed rather than silently dropped.
+
+Comparison is per-operation, not per-run: quick mode scales the op
+counts down, so two runs in different modes (CI's ``--quick`` output
+against the committed full baseline) would differ ~10x in raw
+``best_s`` while their per-op cost is directly comparable.
+
+The comparison is purely textual and advisory: CI runs it non-gating
+against the committed baseline so a regression shows up in the job log
+without making a noisy benchmark box fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.perf.schema import BenchSchemaError, validate_bench
+
+__all__ = ["BenchDelta", "compare_documents", "load_bench", "render_comparison"]
+
+#: Relative change below which an entry is classified as noise.
+NOISE_BAND = 0.05
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One aligned benchmark pair, or a one-sided add/remove."""
+
+    name: str
+    group: str
+    old_per_op_ns: float | None
+    new_per_op_ns: float | None
+
+    @property
+    def status(self) -> str:
+        if self.old_per_op_ns is None:
+            return "added"
+        if self.new_per_op_ns is None:
+            return "removed"
+        if self.ratio <= 1.0 - NOISE_BAND:
+            return "faster"
+        if self.ratio >= 1.0 + NOISE_BAND:
+            return "slower"
+        return "~"
+
+    @property
+    def ratio(self) -> float:
+        """new/old per-op cost; < 1 means the new run is faster."""
+        if (
+            self.old_per_op_ns is None
+            or self.new_per_op_ns is None
+            or not self.old_per_op_ns
+        ):
+            return float("nan")
+        return self.new_per_op_ns / self.old_per_op_ns
+
+    @property
+    def percent(self) -> float:
+        """Signed percentage change in per-op cost (+ means slower)."""
+        return (self.ratio - 1.0) * 100.0
+
+
+def load_bench(path: str) -> dict:
+    """Load and schema-validate a BENCH JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_bench(doc)
+    return doc
+
+
+def compare_documents(old: dict, new: dict) -> list[BenchDelta]:
+    """Align two validated documents by benchmark name."""
+    if old["kind"] != new["kind"]:
+        raise BenchSchemaError(
+            f"cannot compare kind {old['kind']!r} against {new['kind']!r}"
+        )
+    old_entries = {entry["name"]: entry for entry in old["benchmarks"]}
+    new_entries = {entry["name"]: entry for entry in new["benchmarks"]}
+    deltas = []
+    for name in sorted(old_entries | new_entries):
+        old_entry = old_entries.get(name)
+        new_entry = new_entries.get(name)
+        deltas.append(
+            BenchDelta(
+                name=name,
+                group=(new_entry or old_entry)["group"],
+                old_per_op_ns=old_entry["per_op_ns"] if old_entry else None,
+                new_per_op_ns=new_entry["per_op_ns"] if new_entry else None,
+            )
+        )
+    return deltas
+
+
+def _fmt_per_op(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value < 1e3:
+        return f"{value:,.0f}ns"
+    if value < 1e6:
+        return f"{value / 1e3:.2f}us"
+    if value < 1e9:
+        return f"{value / 1e6:.2f}ms"
+    return f"{value / 1e9:.3f}s"
+
+
+def render_comparison(deltas: list[BenchDelta]) -> str:
+    """Human-readable comparison table (one line per benchmark)."""
+    header = f"{'benchmark':<28} {'old/op':>10} {'new/op':>10} {'delta':>9}  status"
+    lines = [header, "-" * len(header)]
+    for delta in deltas:
+        if delta.status in ("added", "removed"):
+            change = "-"
+        else:
+            change = f"{delta.percent:+.1f}%"
+        lines.append(
+            f"{delta.name:<28} {_fmt_per_op(delta.old_per_op_ns):>10} "
+            f"{_fmt_per_op(delta.new_per_op_ns):>10} {change:>9}  {delta.status}"
+        )
+    regressions = sum(1 for d in deltas if d.status == "slower")
+    improvements = sum(1 for d in deltas if d.status == "faster")
+    lines.append(
+        f"{len(deltas)} benchmarks: {improvements} faster, {regressions} slower, "
+        f"{len(deltas) - improvements - regressions} within ±{NOISE_BAND:.0%}"
+    )
+    return "\n".join(lines)

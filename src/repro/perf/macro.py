@@ -1,0 +1,320 @@
+"""Macrobenchmarks: whole-simulation throughput in packets per second.
+
+The headline number of ``BENCH_kernel.json`` is ``packet_forwarding``: a
+fig04-style dumbbell (CBR at half the bottleneck rate plus a handful of
+TCP flows, RED at the bottleneck, bidirectional ack traffic) simulated
+for a fixed span of virtual time on two stacks:
+
+* the **live stack** — the current kernel, link, node, queue and
+  telemetry probes;
+* the **reference stack** — the frozen pre-overhaul snapshot of those
+  same classes from :mod:`repro.perf.reference` (object-keyed heap,
+  an Event allocation per schedule, no idle-link bypass, tail-read
+  probes).
+
+Both stacks are wired by the *same* topology-building code with the
+classes injected, and the congestion-control agents, RED estimator and
+packet model are shared, so the two runs execute the identical event
+sequence — asserted by comparing forwarded-packet counts — and the
+wall-clock ratio is a pure measurement of the overhaul.
+
+``figure_benchmarks`` times the first job of a few representative
+figures end-to-end through :func:`repro.experiments.jobs.execute_job`
+(no cache, no pool) and becomes ``BENCH_figures.json``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.perf import reference as ref
+from repro.perf.timing import attach_baseline, min_of_k, summarize
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["packet_forwarding_benchmark", "figure_benchmarks"]
+
+#: fig04-style dumbbell, scaled so one repetition stays in benchmark
+#: territory (seconds, not minutes) on a single core.
+_MACRO = {
+    "bandwidth_bps": 5e6,
+    "rtt_s": 0.05,
+    "n_flows": 6,
+    "cbr_fraction": 0.5,
+    "seed": 1,
+    "packet_size": 1000,
+    "access_factor": 20.0,
+}
+
+
+@dataclass(frozen=True)
+class _Stack:
+    """The six classes a simulation stack is made of."""
+
+    simulator: type
+    link: type
+    node: type
+    droptail: type
+    counter: type
+    series: type
+
+
+def _live_stack() -> _Stack:
+    from repro.net.link import Link
+    from repro.net.node import Node
+    from repro.net.queue import DropTailQueue
+    from repro.telemetry.probes import CounterProbe
+    from repro.telemetry.series import TimeSeries
+
+    return _Stack(Simulator, Link, Node, DropTailQueue, CounterProbe, TimeSeries)
+
+
+def _reference_stack() -> _Stack:
+    return _Stack(
+        ref.ReferenceSimulator,
+        ref.ReferenceLink,
+        ref.ReferenceNode,
+        ref.ReferenceDropTailQueue,
+        ref.ReferenceCounterProbe,
+        ref.ReferenceTimeSeries,
+    )
+
+
+class _MacroAccountant:
+    """Per-flow delivered-bytes accounting, series class injected."""
+
+    def __init__(self, sim, series_cls):
+        self.sim = sim
+        self._series_cls = series_cls
+        self._flows: dict = {}
+
+    def on_deliver(self, packet) -> None:
+        series = self._flows.get(packet.flow_id)
+        if series is None:
+            series = self._series_cls(f"flow{packet.flow_id}")
+            self._flows[packet.flow_id] = series
+        values = series.values
+        total = (values[-1] if len(values) else 0.0) + packet.size
+        series.append(self.sim.now, total)
+
+
+class _MacroNet:
+    """A dumbbell wired by hand from an injected class stack.
+
+    Mirrors :class:`repro.net.dumbbell.Dumbbell` — same addresses, link
+    rates, delays, RED configuration and RNG streams — but takes every
+    forwarding/telemetry class as a parameter so the identical wiring
+    runs on the live and the frozen reference stacks.  Implements the
+    ``add_host_pair`` / ``new_flow_id`` / ``accountant`` surface that
+    :func:`repro.cc.base.establish` needs.
+    """
+
+    def __init__(self, sim, stack: _Stack, bandwidth_bps, rtt_s, seed):
+        from repro.net.queue import QueueProbes
+        from repro.net.red import red_for_bdp
+
+        self.sim = sim
+        self._stack = stack
+        self.bandwidth_bps = bandwidth_bps
+        self.rtt_s = rtt_s
+        self.rng = RngRegistry(seed)
+        self._next_address = 0
+        self._next_flow_id = 0
+
+        self.router_left = self._new_node("routerL")
+        self.router_right = self._new_node("routerR")
+
+        packet_size = _MACRO["packet_size"]
+        self._access_delay = rtt_s / 8.0
+        bottleneck_delay = rtt_s / 4.0
+        self._access_bw = _MACRO["access_factor"] * bandwidth_bps
+
+        def red_queue():
+            return red_for_bdp(
+                bandwidth_bps,
+                rtt_s,
+                packet_size=packet_size,
+                rng=self.rng.stream("red"),
+            )
+
+        self.bottleneck = stack.link(
+            sim, bandwidth_bps, bottleneck_delay, red_queue(), name="bottleneck"
+        )
+        self.bottleneck.connect(self.router_right.receive)
+        self.reverse_bottleneck = stack.link(
+            sim, bandwidth_bps, bottleneck_delay, red_queue(), name="bottleneck_rev"
+        )
+        self.reverse_bottleneck.connect(self.router_left.receive)
+
+        # The measurement surface a LinkMonitor would provide, with the
+        # probe classes injected: arrival/drop/mark counters on both
+        # bottleneck queues and a departed-bytes series tap per link.
+        for link in (self.bottleneck, self.reverse_bottleneck):
+            link.queue.telemetry = QueueProbes(
+                arrivals=stack.counter("arrivals"),
+                drops=stack.counter("drops"),
+                marks=stack.counter("marks"),
+            )
+            self._tap_departures(link)
+        self.accountant = _MacroAccountant(sim, stack.series)
+
+    def _tap_departures(self, link) -> None:
+        series = self._stack.series(f"{link.name}.departed_bytes")
+        sim = self.sim
+        state = [0]
+
+        def on_departure(packet) -> None:
+            state[0] += packet.size
+            series.append(sim.now, state[0])
+
+        link.add_tap(on_departure)
+
+    def _new_node(self, name: str):
+        node = self._stack.node(self.sim, self._next_address, name)
+        self._next_address += 1
+        return node
+
+    def _access_link(self, name: str):
+        return self._stack.link(
+            self.sim,
+            self._access_bw,
+            self._access_delay,
+            self._stack.droptail(100_000),
+            name=name,
+        )
+
+    def _attach_host(self, node, router) -> None:
+        uplink = self._access_link(f"{node.name}->{router.name}")
+        uplink.connect(router.receive)
+        node.set_default_route(uplink)
+        downlink = self._access_link(f"{router.name}->{node.name}")
+        downlink.connect(node.receive)
+        router.add_route(node.address, downlink)
+
+    def new_flow_id(self) -> int:
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        return flow_id
+
+    def add_host_pair(self, forward: bool = True, name: str = ""):
+        from repro.net.dumbbell import HostPair
+
+        tag = name or f"h{self._next_address}"
+        if forward:
+            src_router, dst_router = self.router_left, self.router_right
+            out_link, back_link = self.bottleneck, self.reverse_bottleneck
+        else:
+            src_router, dst_router = self.router_right, self.router_left
+            out_link, back_link = self.reverse_bottleneck, self.bottleneck
+
+        source = self._new_node(f"{tag}src")
+        destination = self._new_node(f"{tag}dst")
+        self._attach_host(source, src_router)
+        self._attach_host(destination, dst_router)
+        src_router.add_route(destination.address, out_link)
+        dst_router.add_route(source.address, back_link)
+        return HostPair(source, destination, forward)
+
+
+def _build_workload(stack: _Stack):
+    """Wire the macro scenario on a fresh simulator of ``stack``."""
+    from repro.cc.base import establish
+    from repro.cc.tcp import new_tcp_flow
+    from repro.traffic.bulk import add_flows
+    from repro.traffic.cbr import CbrSink, CbrSource
+
+    cfg = _MACRO
+    sim = stack.simulator()
+    net = _MacroNet(sim, stack, cfg["bandwidth_bps"], cfg["rtt_s"], cfg["seed"])
+    cbr = CbrSource(sim, rate_bps=cfg["cbr_fraction"] * cfg["bandwidth_bps"])
+    sink = CbrSink(sim)
+    establish(net, cbr, sink)
+    sim.at(0.0, cbr.start)
+    add_flows(
+        sim,
+        net,
+        lambda s: new_tcp_flow(s),
+        count=cfg["n_flows"],
+        start_at=0.0,
+        start_jitter_s=2.0,
+        rng=random.Random(cfg["seed"]),
+    )
+    return sim, net
+
+
+def _packets_forwarded(stack: _Stack, duration_s: float) -> int:
+    """One untimed calibration run; returns bottleneck packets sent."""
+    sim, net = _build_workload(stack)
+    sim.run(until=duration_s)
+    return net.bottleneck.packets_sent + net.reverse_bottleneck.packets_sent
+
+
+def packet_forwarding_benchmark(quick: bool = False, k: int = 0) -> dict:
+    """The headline macrobenchmark entry (group ``macro``)."""
+    repeats = k or (2 if quick else 3)
+    duration_s = 3.0 if quick else 12.0
+    live_stack = _live_stack()
+    ref_stack = _reference_stack()
+
+    live_packets = _packets_forwarded(live_stack, duration_s)
+    ref_packets = _packets_forwarded(ref_stack, duration_s)
+    if live_packets != ref_packets:
+        raise RuntimeError(
+            "macro workload diverged between stacks: "
+            f"{live_packets} vs {ref_packets} packets — the overhaul is "
+            "supposed to be behavior-preserving"
+        )
+
+    live = min_of_k(
+        lambda sim: sim.run(until=duration_s),
+        k=repeats,
+        ops=live_packets,
+        setup=lambda: _build_workload(live_stack)[0],
+    )
+    baseline = min_of_k(
+        lambda sim: sim.run(until=duration_s),
+        k=repeats,
+        ops=ref_packets,
+        setup=lambda: _build_workload(ref_stack)[0],
+    )
+    entry = summarize("packet_forwarding", "macro", "packets/s", live)
+    entry["meta"] = {
+        "sim_seconds": duration_s,
+        "packets": live_packets,
+        "topology": "dumbbell",
+        "bandwidth_bps": _MACRO["bandwidth_bps"],
+        "rtt_s": _MACRO["rtt_s"],
+        "tcp_flows": _MACRO["n_flows"],
+        "cbr_fraction": _MACRO["cbr_fraction"],
+    }
+    return attach_baseline(entry, baseline)
+
+
+#: Figures timed end-to-end (first job, fast scale).  The quick set is
+#: analysis-dominated or single-flow figures so the CI smoke run stays
+#: under a minute of simulation; the full set adds dumbbell scenarios.
+_QUICK_FIGURES = ("fig11", "fig19", "fig20")
+_FULL_FIGURES = ("fig03", "fig06", "fig11", "fig17", "fig19", "fig20")
+
+
+def figure_benchmarks(quick: bool = False, k: int = 0) -> list[dict]:
+    """Time the first job of representative figures (group ``figure``)."""
+    from repro.experiments import ALL_FIGURES
+    from repro.experiments.jobs import execute_job
+
+    repeats = k or 1  # a figure job is seconds of wall time; min-of-1
+    entries = []
+    for name in _QUICK_FIGURES if quick else _FULL_FIGURES:
+        module = ALL_FIGURES[name]
+        jb = module.jobs("fast")[0]
+        timing = min_of_k(lambda jb=jb: execute_job(jb), k=repeats, ops=1)
+        entry = summarize(name, "figure", "s/job", timing)
+        entry["meta"] = {
+            "scenario": jb.scenario,
+            "job_index": jb.index,
+            "scale": "fast",
+            "content_hash": jb.content_hash[:12],
+        }
+        entries.append(entry)
+    return entries

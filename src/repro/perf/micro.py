@@ -1,0 +1,236 @@
+"""Microbenchmarks: the kernel and telemetry hot paths in isolation.
+
+Each microbenchmark times one primitive against its frozen pre-overhaul
+counterpart in :mod:`repro.perf.reference`, so every entry in
+``BENCH_kernel.json`` carries a measured ``speedup`` — the number that
+justified (or would veto) the optimization.
+
+Workload shapes are deterministic: event times come from the
+golden-ratio low-discrepancy sequence, not an RNG, so two bench runs
+schedule byte-identical calendars and differ only in wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.perf.reference import (
+    ReferenceCounterProbe,
+    ReferenceSimulator,
+    ReferenceTimeSeries,
+    reference_interval_average,
+)
+from repro.perf.timing import attach_baseline, min_of_k, summarize
+from repro.sim.engine import Simulator
+from repro.telemetry.probes import CounterProbe
+from repro.telemetry.series import TimeSeries, interval_average
+
+__all__ = ["kernel_microbenchmarks"]
+
+_PHI = 0.6180339887498949  # golden-ratio conjugate: low-discrepancy offsets
+
+
+def _scattered_times(n: int, horizon: float = 1000.0) -> list[float]:
+    """n deterministic, duplicate-free times scattered over [0, horizon)."""
+    return [((i * _PHI) % 1.0) * horizon for i in range(n)]
+
+
+def _sorted_times(n: int, horizon: float = 1000.0) -> list[float]:
+    return sorted(_scattered_times(n, horizon))
+
+
+# --- Event churn -----------------------------------------------------------
+
+
+def _churn(sim, times) -> None:
+    for t in times:
+        sim.at(t, _noop)
+    sim.run()
+
+
+def _noop() -> None:
+    return None
+
+
+def _bench_event_churn(n: int, k: int) -> dict:
+    times = _scattered_times(n)
+    live = min_of_k(
+        lambda sim: _churn(sim, times), k=k, ops=n, setup=Simulator
+    )
+    ref = min_of_k(
+        lambda sim: _churn(sim, times), k=k, ops=n, setup=ReferenceSimulator
+    )
+    entry = summarize("event_churn", "micro", "events/s", live)
+    entry["meta"] = {"events": n, "pattern": "schedule-all-then-run"}
+    return attach_baseline(entry, ref)
+
+
+def _interleaved(sim, times) -> None:
+    # Schedule-from-callback: every fired event schedules the next one,
+    # the shape of per-packet transmission events.  Each kernel chains
+    # through its cheapest fire-and-forget primitive — ``call_in`` on the
+    # live kernel (what Link uses), plain ``schedule`` on the reference
+    # kernel, which has nothing cheaper.
+    chain = getattr(sim, "call_in", None) or sim.schedule
+    it = iter(times)
+
+    def step() -> None:
+        t = next(it, None)
+        if t is not None:
+            chain(t, step)
+
+    chain(0.0, step)
+    sim.run()
+
+
+def _bench_event_chain(n: int, k: int) -> dict:
+    deltas = [((i * _PHI) % 1.0) * 0.01 for i in range(n)]
+    live = min_of_k(
+        lambda sim: _interleaved(sim, deltas), k=k, ops=n, setup=Simulator
+    )
+    ref = min_of_k(
+        lambda sim: _interleaved(sim, deltas),
+        k=k,
+        ops=n,
+        setup=ReferenceSimulator,
+    )
+    entry = summarize("event_chain", "micro", "events/s", live)
+    entry["meta"] = {"events": n, "pattern": "fire-and-forget chain"}
+    return attach_baseline(entry, ref)
+
+
+def _cancel_churn(sim, times) -> None:
+    events = [sim.at(t, _noop) for t in times]
+    for i, event in enumerate(events):
+        if i % 3:  # cancel 2/3: enough tombstones to trigger compaction
+            event.cancel()
+    sim.run()
+
+
+def _bench_cancel_churn(n: int, k: int) -> dict:
+    times = _scattered_times(n)
+    live = min_of_k(
+        lambda sim: _cancel_churn(sim, times), k=k, ops=n, setup=Simulator
+    )
+    ref = min_of_k(
+        lambda sim: _cancel_churn(sim, times),
+        k=k,
+        ops=n,
+        setup=ReferenceSimulator,
+    )
+    entry = summarize("event_cancel_churn", "micro", "events/s", live)
+    entry["meta"] = {"events": n, "cancelled_fraction": 2 / 3}
+    return attach_baseline(entry, ref)
+
+
+def _same_time_burst(sim, n: int) -> None:
+    # All events land at the current time: the at() fast path (FIFO
+    # deque) versus a heap absorbing n equal keys.
+    for _ in range(n):
+        sim.at(sim.now, _noop)
+    sim.run()
+
+
+def _bench_same_time_burst(n: int, k: int) -> dict:
+    live = min_of_k(
+        lambda sim: _same_time_burst(sim, n), k=k, ops=n, setup=Simulator
+    )
+    ref = min_of_k(
+        lambda sim: _same_time_burst(sim, n),
+        k=k,
+        ops=n,
+        setup=ReferenceSimulator,
+    )
+    entry = summarize("event_same_time_burst", "micro", "events/s", live)
+    entry["meta"] = {"events": n, "pattern": "at(now)"}
+    return attach_baseline(entry, ref)
+
+
+# --- Probe emission --------------------------------------------------------
+
+
+def _emit(probe, times) -> None:
+    increment = probe.increment
+    for t in times:
+        increment(t)
+
+
+def _bench_probe_emission(n: int, k: int) -> dict:
+    times = _sorted_times(n)
+    live = min_of_k(
+        lambda p: _emit(p, times), k=k, ops=n, setup=CounterProbe
+    )
+    ref = min_of_k(
+        lambda p: _emit(p, times), k=k, ops=n, setup=ReferenceCounterProbe
+    )
+    entry = summarize("probe_emission", "micro", "increments/s", live)
+    entry["meta"] = {"increments": n}
+    return attach_baseline(entry, ref)
+
+
+# --- TimeSeries bulk loading ----------------------------------------------
+
+
+def _bench_timeseries_extend(n: int, k: int) -> dict:
+    times = _sorted_times(n)
+    values = [float(i) for i in range(n)]
+    live = min_of_k(
+        lambda s: s.extend(times, values), k=k, ops=n, setup=TimeSeries
+    )
+    ref = min_of_k(
+        lambda s: s.extend(times, values),
+        k=k,
+        ops=n,
+        setup=ReferenceTimeSeries,
+    )
+    entry = summarize("timeseries_extend", "micro", "samples/s", live)
+    entry["meta"] = {"samples": n}
+    return attach_baseline(entry, ref)
+
+
+# --- Windowed averaging ----------------------------------------------------
+
+
+def _bench_interval_average(n: int, k: int, windows: int = 200) -> dict:
+    series = TimeSeries("bench")
+    series.extend(_sorted_times(n), [float(i) for i in range(n)])
+    span = 1000.0 / windows
+
+    def live_workload() -> None:
+        for i in range(windows):
+            interval_average(series, i * span, i * span + span)
+
+    samples = list(zip(series.times, series.values))
+
+    def ref_workload() -> None:
+        for i in range(windows):
+            reference_interval_average(samples, i * span, i * span + span)
+
+    live = min_of_k(live_workload, k=k, ops=windows)
+    ref = min_of_k(ref_workload, k=k, ops=windows)
+    entry = summarize("interval_average", "micro", "windows/s", live)
+    entry["meta"] = {"samples": n, "windows": windows}
+    return attach_baseline(entry, ref)
+
+
+# --- Catalog ---------------------------------------------------------------
+
+_CATALOG: "list[tuple[str, Callable[[int, int], dict], int, int]]" = [
+    # (name, builder, full_n, quick_n)
+    ("event_churn", _bench_event_churn, 100_000, 10_000),
+    ("event_chain", _bench_event_chain, 50_000, 5_000),
+    ("event_cancel_churn", _bench_cancel_churn, 100_000, 10_000),
+    ("event_same_time_burst", _bench_same_time_burst, 50_000, 5_000),
+    ("probe_emission", _bench_probe_emission, 200_000, 20_000),
+    ("timeseries_extend", _bench_timeseries_extend, 200_000, 20_000),
+    ("interval_average", _bench_interval_average, 100_000, 10_000),
+]
+
+
+def kernel_microbenchmarks(quick: bool = False, k: int = 0) -> list[dict]:
+    """Run the microbenchmark catalog; returns BENCH entries."""
+    repeats = k or (2 if quick else 5)
+    entries = []
+    for _, builder, full_n, quick_n in _CATALOG:
+        entries.append(builder(quick_n if quick else full_n, repeats))
+    return entries

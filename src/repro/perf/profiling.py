@@ -1,0 +1,73 @@
+"""``repro profile`` — cProfile a figure's jobs and report hot functions.
+
+Profiling answers the question the benchmarks raise: *where* does the
+time go?  This module runs a figure's jobs in-process (no cache, no
+worker pool — a profile of a subprocess would be empty) under
+:mod:`cProfile` and prints the top-N functions by a chosen sort key.
+The optimizations in the fast-path overhaul were selected from exactly
+this view: ``Simulator.run`` / ``at``, ``Link._transmission_done`` and
+``CounterProbe.increment`` dominated the pre-overhaul profile.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+__all__ = ["profile_figure", "SORT_KEYS"]
+
+#: pstats sort keys exposed on the CLI.
+SORT_KEYS = ("cumulative", "tottime", "calls")
+
+
+def profile_figure(
+    figure: str,
+    scale: str = "fast",
+    jobs: int = 1,
+    top: int = 25,
+    sort: str = "cumulative",
+) -> str:
+    """Profile the first ``jobs`` jobs of ``figure`` and return the report.
+
+    Parameters
+    ----------
+    figure:
+        Figure or extension name (anything ``repro run`` accepts).
+    scale:
+        Scenario scale preset; ``fast`` keeps profiling runs short.
+    jobs:
+        How many of the figure's jobs to execute under the profiler.
+    top:
+        Number of functions in the report.
+    sort:
+        A :data:`SORT_KEYS` entry (pstats sort key).
+    """
+    from repro.experiments import ALL_FIGURES, EXTENSIONS
+    from repro.experiments.jobs import execute_job
+
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, not {sort!r}")
+    registry = {**ALL_FIGURES, **EXTENSIONS}
+    if figure not in registry:
+        raise ValueError(
+            f"unknown figure {figure!r}; choose from {', '.join(sorted(registry))}"
+        )
+    job_list = registry[figure].jobs(scale)[: max(1, jobs)]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        for jb in job_list:
+            execute_job(jb)
+    finally:
+        profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    lines = [
+        f"profile: {figure} scale={scale} jobs={len(job_list)} sort={sort}",
+        buffer.getvalue().rstrip(),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,415 @@
+"""Frozen pre-overhaul implementations of the simulation hot path.
+
+This module is a faithful snapshot of the simulation kernel as it stood
+*before* the fast-path overhaul — the event calendar (object-keyed heap,
+per-sift ``Event.__lt__`` dispatch, an Event allocation for every
+schedule), the per-packet forwarding stack (link, node, FIFO queue with
+no idle bypass), and the telemetry hot path (closure-per-call counter
+windows, the per-sample ``TimeSeries.extend`` loop and the linear
+``interval_average`` scan).  It exists for two reasons:
+
+1. **Benchmark baseline.**  ``python -m repro bench`` runs every micro-
+   and macrobenchmark twice — once against the live kernel, once against
+   these reference implementations — so ``BENCH_kernel.json`` records a
+   measured speedup against the exact code the overhaul replaced, not
+   against a guess.
+2. **Ordering oracle.**  The property tests in
+   ``tests/test_sim_engine_fastpath.py`` drive random schedule / cancel /
+   compaction churn through both kernels and assert the live kernel
+   fires events in exactly the reference ``(time, seq)`` order.
+
+Nothing outside ``repro.perf`` and the test suite may import this
+module; it is deliberately *not* re-exported from ``repro.perf``'s
+public surface beyond the names below.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import math
+from array import array
+from collections import deque
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "ReferenceEvent",
+    "ReferenceSimulator",
+    "ReferenceCounterProbe",
+    "ReferenceTimeSeries",
+    "ReferenceQueueDiscipline",
+    "ReferenceDropTailQueue",
+    "ReferenceLink",
+    "ReferenceNode",
+    "reference_interval_average",
+]
+
+
+class ReferenceEvent:
+    """Pre-overhaul event: ordering via a Python-level ``__lt__``."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_in_heap")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Optional[ReferenceSimulator]" = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._sim = sim
+        self._in_heap = False
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._sim is not None and self._in_heap:
+            self._sim._note_cancelled()
+
+    def __lt__(self, other: "ReferenceEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class ReferenceSimulator:
+    """Pre-overhaul kernel: a heap of :class:`ReferenceEvent` objects.
+
+    Every sift inside ``heappush`` / ``heappop`` dispatches to
+    ``ReferenceEvent.__lt__`` — a Python function call per comparison —
+    which is exactly the overhead the tuple-keyed calendar removed.  The
+    public surface matches :class:`repro.sim.engine.Simulator`, so the
+    network stack runs on either kernel unchanged.
+    """
+
+    COMPACT_MIN_CANCELLED = 64
+
+    def __init__(self) -> None:
+        self._heap: list[ReferenceEvent] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._cancelled = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled > self.COMPACT_MIN_CANCELLED
+            and self._cancelled > len(self._heap) // 2
+        ):
+            for event in self._heap:
+                if event.cancelled:
+                    event._in_heap = False
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any):
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay}s in the past")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any):
+        if math.isnan(time):
+            raise ValueError("cannot schedule at time NaN")
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}: clock is already at {self._now}"
+            )
+        event = ReferenceEvent(time, self._seq, fn, args, sim=self)
+        event._in_heap = True
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> None:
+        if self._running:
+            raise RuntimeError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                event._in_heap = False
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._now = event.time
+                event.fn(*event.args)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        self._stopped = True
+
+
+class ReferenceCounterProbe:
+    """Pre-overhaul counter: tail reads per increment, closure per window.
+
+    ``increment`` re-read ``self._totals[-1]`` on every event and
+    ``count_in`` built a ``cumulative_before`` closure per call, then
+    truncated the difference through ``int()`` — the accounting bug the
+    overhaul fixed for fractional (byte-weighted) increments.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: array = array("d")
+        self._totals: array = array("d")
+
+    @property
+    def times(self) -> Sequence[float]:
+        return self._times
+
+    @property
+    def values(self) -> Sequence[float]:
+        return self._totals
+
+    @property
+    def count(self) -> int:
+        return int(self._totals[-1]) if self._totals else 0
+
+    def increment(self, time: float, amount: float = 1) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"events must be time-ordered: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._totals.append((self._totals[-1] if self._totals else 0.0) + amount)
+
+    def count_in(self, start: float, end: float) -> int:
+        def cumulative_before(t: float) -> float:
+            idx = bisect.bisect_left(self._times, t) - 1
+            return self._totals[idx] if idx >= 0 else 0.0
+
+        return int(cumulative_before(end) - cumulative_before(start))
+
+
+class ReferenceTimeSeries:
+    """Pre-overhaul series: ``extend`` is a Python-level append per sample."""
+
+    __slots__ = ("_times", "_values", "name")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: array = array("d")
+        self._values: array = array("d")
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self):
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> Sequence[float]:
+        return self._times
+
+    @property
+    def values(self) -> Sequence[float]:
+        return self._values
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def extend(self, times: Iterable[float], values: Iterable[float]) -> None:
+        for time, value in zip(times, values):
+            self.append(time, value)
+
+
+class ReferenceQueueDiscipline:
+    """Pre-overhaul FIFO queue: two clock reads per enqueue, no bypass."""
+
+    def __init__(self, capacity_pkts: int):
+        if capacity_pkts < 1:
+            raise ValueError("queue capacity must be at least 1 packet")
+        self.capacity_pkts = capacity_pkts
+        self._buffer: "deque" = deque()
+        self._bytes = 0
+        self.observer = None
+        self.telemetry = None
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes
+
+    def admit(self, packet) -> bool:
+        return len(self._buffer) < self.capacity_pkts
+
+    def enqueue(self, packet) -> bool:
+        if self.telemetry is not None:
+            self.telemetry.arrivals.increment(self._clock())
+        if self.observer is not None:
+            self.observer.on_arrival(packet)
+        if not self.admit(packet):
+            if self.telemetry is not None:
+                self.telemetry.drops.increment(self._clock())
+            if self.observer is not None:
+                self.observer.on_drop(packet)
+            return False
+        packet.enqueued_at = self._clock()
+        self._buffer.append(packet)
+        self._bytes += packet.size
+        return True
+
+    def dequeue(self):
+        if not self._buffer:
+            return None
+        packet = self._buffer.popleft()
+        self._bytes -= packet.size
+        return packet
+
+
+class ReferenceDropTailQueue(ReferenceQueueDiscipline):
+    """Pre-overhaul plain FIFO tail-drop queue."""
+
+
+class ReferenceLink:
+    """Pre-overhaul link: every packet takes the full enqueue/dequeue
+    round trip and both per-packet events are cancellable
+    :class:`ReferenceEvent` allocations via ``sim.schedule``."""
+
+    def __init__(
+        self,
+        sim,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue=None,
+        name: str = "link",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue = queue if queue is not None else ReferenceDropTailQueue(1000)
+        self.queue.bind_clock(lambda: sim.now)
+        self.name = name
+        self._receiver = None
+        self._busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self._taps: list = []
+
+    def connect(self, receiver) -> None:
+        self._receiver = receiver
+
+    def add_tap(self, tap) -> None:
+        self._taps.append(tap)
+
+    def send(self, packet) -> None:
+        if self._receiver is None:
+            raise RuntimeError(f"link {self.name!r} is not connected")
+        if self.queue.enqueue(packet) and not self._busy:
+            self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        self.sim.schedule(tx_time, self._transmission_done, packet)
+
+    def _transmission_done(self, packet) -> None:
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        for tap in self._taps:
+            tap(packet)
+        self.sim.schedule(self.delay_s, self._receiver, packet)
+        self._start_transmission()
+
+
+class ReferenceNode:
+    """Pre-overhaul node: forwarding goes through a separate ``_forward``
+    call per packet."""
+
+    def __init__(self, sim, address: int, name: str = ""):
+        self.sim = sim
+        self.address = address
+        self.name = name or f"node{address}"
+        self._routes: dict = {}
+        self._default_route = None
+        self._flow_handlers: dict = {}
+
+    def add_route(self, dst: int, link) -> None:
+        self._routes[dst] = link
+
+    def set_default_route(self, link) -> None:
+        self._default_route = link
+
+    def bind_flow(self, flow_id: int, handler) -> None:
+        if flow_id in self._flow_handlers:
+            raise ValueError(f"flow {flow_id} already bound on {self.name}")
+        self._flow_handlers[flow_id] = handler
+
+    def unbind_flow(self, flow_id: int) -> None:
+        self._flow_handlers.pop(flow_id, None)
+
+    def send(self, packet) -> None:
+        self._forward(packet)
+
+    def receive(self, packet) -> None:
+        if packet.dst == self.address:
+            handler = self._flow_handlers.get(packet.flow_id)
+            if handler is not None:
+                handler(packet)
+            return
+        self._forward(packet)
+
+    def _forward(self, packet) -> None:
+        link = self._routes.get(packet.dst, self._default_route)
+        if link is None:
+            raise RuntimeError(f"{self.name}: no route for packet to {packet.dst}")
+        link.send(packet)
+
+
+def reference_interval_average(
+    samples: Iterable[tuple[float, float]], start: float, end: float
+) -> float:
+    """Pre-overhaul linear scan over every sample, windowed or not."""
+    total = 0.0
+    count = 0
+    for t, v in samples:
+        if start <= t < end:
+            total += v
+            count += 1
+    return total / count if count else math.nan

@@ -1,0 +1,121 @@
+"""Minimal, dependency-free timing utilities for the benchmark harness.
+
+Everything here measures with :func:`time.perf_counter`, the monotonic
+high-resolution clock — never ``time.time``, whose steps under NTP
+adjustment would corrupt small measurements.  The core primitive is
+*min-of-k*: run a workload ``k`` times and keep the fastest run, because
+the minimum is the best available estimate of the true cost of the code
+(everything above it is scheduler noise, cache misses from other
+processes, or GC pauses — all additive, never subtractive).
+
+simlint note: ``repro.perf`` is the one domain package allowlisted for
+D002 wall-clock reads.  Benchmark timing is wall-clock *by definition*
+and none of these readings can reach a figure table — the determinism
+bar applies to simulated time, not to how long simulating it took.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["TimingResult", "min_of_k"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Outcome of a min-of-k measurement of one workload.
+
+    ``ops`` is the number of elementary operations one run performs
+    (events fired, probe increments, packets forwarded...), so derived
+    rates compare across workloads of different sizes.
+    """
+
+    runs_s: tuple[float, ...]  # every run's wall seconds, in run order
+    ops: int  # elementary operations per run
+
+    @property
+    def k(self) -> int:
+        return len(self.runs_s)
+
+    @property
+    def best_s(self) -> float:
+        """Fastest run — the canonical min-of-k estimate."""
+        return min(self.runs_s)
+
+    @property
+    def per_op_ns(self) -> float:
+        """Nanoseconds per elementary operation in the best run."""
+        if self.ops <= 0:
+            return float("nan")
+        return self.best_s * 1e9 / self.ops
+
+    @property
+    def rate(self) -> float:
+        """Operations per second in the best run."""
+        if self.best_s <= 0:
+            return float("inf")
+        return self.ops / self.best_s
+
+
+def min_of_k(
+    workload: Callable[..., object],
+    *,
+    k: int = 5,
+    ops: int = 1,
+    setup: Optional[Callable[[], object]] = None,
+) -> TimingResult:
+    """Time ``workload`` ``k`` times and keep every run (best = min).
+
+    ``setup``, when given, runs *outside* the timed region before each
+    repetition and its return value is passed to ``workload`` — the
+    standard shape for workloads that consume fresh state (a new
+    simulator, an empty probe) on every run.
+    """
+    if k < 1:
+        raise ValueError("min_of_k needs at least one run")
+    if ops < 1:
+        raise ValueError("ops must be a positive operation count")
+    runs: list[float] = []
+    perf_counter = time.perf_counter
+    for _ in range(k):
+        if setup is not None:
+            state = setup()
+            start = perf_counter()
+            workload(state)
+        else:
+            start = perf_counter()
+            workload()
+        runs.append(perf_counter() - start)
+    return TimingResult(runs_s=tuple(runs), ops=ops)
+
+
+def summarize(name: str, group: str, unit: str, timing: TimingResult) -> dict:
+    """One benchmark's JSON entry (schema: ``repro.perf.schema``)."""
+    return {
+        "name": name,
+        "group": group,
+        "unit": unit,
+        "ops": timing.ops,
+        "repeats": timing.k,
+        "best_s": timing.best_s,
+        "per_op_ns": timing.per_op_ns,
+        "rate": timing.rate,
+    }
+
+
+def attach_baseline(entry: dict, baseline: TimingResult) -> dict:
+    """Attach a reference-implementation timing and the speedup ratio."""
+    entry["baseline"] = {
+        "best_s": baseline.best_s,
+        "per_op_ns": baseline.per_op_ns,
+        "rate": baseline.rate,
+    }
+    entry["speedup"] = (
+        baseline.best_s / entry["best_s"] if entry["best_s"] > 0 else float("inf")
+    )
+    return entry
+
+
+__all__ += ["summarize", "attach_baseline"]

@@ -8,15 +8,49 @@ order: events fire in timestamp order, with insertion order breaking ties.
 
 Nothing here knows about packets or links; the kernel only moves simulated
 time forward and invokes callbacks.
+
+Fast path
+---------
+The calendar stores ``(time, seq, ...)`` tuples rather than bare
+:class:`Event` objects.  Heap sifts then compare C-level floats and ints
+instead of dispatching to a Python ``Event.__lt__`` per comparison — on a
+calendar of a few hundred events that removes five to ten Python calls
+from every push and pop, which is most of what the kernel does per
+packet.  Three further fast paths, all measured by ``python -m repro
+bench`` against the frozen pre-overhaul kernel in
+:mod:`repro.perf.reference`:
+
+* Events scheduled at exactly the current time (``at(now, ...)`` or
+  ``schedule(0, ...)``) skip the heap entirely and land in a FIFO
+  ``ready`` deque: same-time events fire in insertion order anyway, so
+  an O(1) append replaces an O(log n) sift, and the run loop interleaves
+  the two structures by ``(time, seq)`` so the global order is exactly
+  what a single heap would produce.
+* :meth:`Simulator.call_at` / :meth:`Simulator.call_in` are
+  fire-and-forget variants of :meth:`at` / :meth:`schedule` for callers
+  that never cancel (per-packet link events, which dominate every
+  simulation): they push a bare ``(time, seq, fn, args)`` entry and skip
+  the :class:`Event` allocation and the cancellation bookkeeping
+  entirely.  Sequence numbers come from the same counter, so mixing the
+  two APIs preserves the global FIFO tie-break.
+* ``now`` is a plain attribute, not a property: the clock is read on
+  every queue arrival, packet construction and probe sample, and an
+  attribute load is several times cheaper than a descriptor call.  It
+  is written by the kernel only; assigning it from outside the kernel
+  is not supported (tests that need a fake clock may do so explicitly).
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from collections import deque
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "Simulator", "Timer", "SimulationError"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -28,9 +62,9 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` /
     :meth:`Simulator.at` and can be cancelled before they fire.  Cancellation
-    is lazy: the heap entry stays in place and is discarded when popped (or
-    swept out wholesale when cancelled entries dominate the calendar — see
-    :meth:`Simulator._note_cancelled`).
+    is lazy: the calendar entry stays in place and is discarded when popped
+    (or swept out wholesale when cancelled entries dominate the calendar —
+    see :meth:`Simulator._note_cancelled`).
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_in_heap")
@@ -60,6 +94,8 @@ class Event:
             self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
+        # Kept for callers that sort events; the calendar itself compares
+        # (time, seq) tuples and never reaches this method.
         if self.time != other.time:
             return self.time < other.time
         return self.seq < other.seq
@@ -87,67 +123,150 @@ class Simulator:
     COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._now = 0.0
+        # Calendar entries are (time, seq, event) for cancellable events
+        # and (time, seq, fn, args) for fire-and-forget call_at/call_in
+        # entries.  seq is unique, so sifts compare floats and ints only
+        # and never reach the third element.
+        self._heap: list[tuple] = []
+        # Entries scheduled at exactly the current time, in seq order.
+        # Invariant: every entry's time equals ``now`` and the deque is
+        # drained before the clock advances.
+        self._ready: deque[tuple] = deque()
+        #: Current simulated time in seconds (kernel-written; read-only
+        #: for everyone else).
+        self.now = 0.0
         self._seq = 0
         self._running = False
         self._stopped = False
-        self._cancelled = 0  # cancelled events still sitting in the heap
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        self._cancelled = 0  # cancelled events still sitting in the calendar
+        self.events_fired = 0  # lifetime count of callbacks invoked
 
     @property
     def pending(self) -> int:
         """Number of live (not-yet-fired, not-cancelled) events.
 
-        O(1): the kernel tracks how many heap entries are cancelled-but-
-        not-yet-popped instead of scanning the calendar.
+        O(1): the kernel tracks how many calendar entries are cancelled-
+        but-not-yet-popped instead of scanning the calendar.
         """
-        return len(self._heap) - self._cancelled
+        return len(self._heap) + len(self._ready) - self._cancelled
 
     def _note_cancelled(self) -> None:
         """Bookkeeping hook called by :meth:`Event.cancel`.
 
         Counts the tombstone and, when more than half the calendar (and at
         least :data:`COMPACT_MIN_CANCELLED` entries) is dead weight, sweeps
-        the heap: filtering preserves correctness because ``(time, seq)``
+        the calendar: filtering preserves correctness because ``(time, seq)``
         is a total order, so ``heapify`` rebuilds the exact same event
-        ordering without the tombstones.
+        ordering without the tombstones (and the ready deque keeps its FIFO
+        order under filtering by construction).  Fire-and-forget 4-tuple
+        entries cannot be cancelled and always survive the sweep.
         """
         self._cancelled += 1
         if (
             self._cancelled > self.COMPACT_MIN_CANCELLED
-            and self._cancelled > len(self._heap) // 2
+            and self._cancelled > (len(self._heap) + len(self._ready)) // 2
         ):
-            for event in self._heap:
-                if event.cancelled:
-                    event._in_heap = False
-            self._heap = [event for event in self._heap if not event.cancelled]
+            # Both sweeps are in place (slice-assign / clear+extend): the
+            # run loop holds direct references to these containers, and a
+            # cancellation storm inside a callback must compact the very
+            # calendar the loop is draining.
+            for entry in self._heap:
+                if len(entry) == 3 and entry[2].cancelled:
+                    entry[2]._in_heap = False
+            self._heap[:] = [
+                entry
+                for entry in self._heap
+                if len(entry) == 4 or not entry[2].cancelled
+            ]
             heapq.heapify(self._heap)
+            if self._ready:
+                for entry in self._ready:
+                    if len(entry) == 3 and entry[2].cancelled:
+                        entry[2]._in_heap = False
+                live = [
+                    entry
+                    for entry in self._ready
+                    if len(entry) == 4 or not entry[2].cancelled
+                ]
+                self._ready.clear()
+                self._ready.extend(live)
             self._cancelled = 0
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
-        return self.at(self._now + delay, fn, *args)
+        now = self.now
+        time = now + delay
+        if not time >= now:  # only NaN survives the delay check (cold)
+            raise SimulationError("cannot schedule at time NaN")
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, sim=self)
+        event._in_heap = True
+        if time == now:
+            self._ready.append((time, seq, event))
+        else:
+            _heappush(self._heap, (time, seq, event))
+        return event
 
     def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run at absolute time ``time``."""
-        if math.isnan(time):
-            raise SimulationError("cannot schedule at time NaN")
-        if time < self._now:
+        now = self.now
+        if not time >= now:
+            # NaN fails every comparison, so both misuse cases land here.
+            if math.isnan(time):
+                raise SimulationError("cannot schedule at time NaN")
             raise SimulationError(
-                f"cannot schedule at {time}: clock is already at {self._now}"
+                f"cannot schedule at {time}: clock is already at {now}"
             )
-        event = Event(time, self._seq, fn, args, sim=self)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, sim=self)
         event._in_heap = True
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        if time == now:
+            # Same-time fast path: seq order is FIFO order, so the deque
+            # append replaces a heap sift.
+            self._ready.append((time, seq, event))
+        else:
+            _heappush(self._heap, (time, seq, event))
         return event
+
+    def call_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Event` is built.
+
+        For hot callers that never cancel (per-packet link events).  The
+        callback cannot be cancelled or observed; in exchange the kernel
+        skips the Event allocation and cancellation bookkeeping.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        now = self.now
+        time = now + delay
+        if not time >= now:  # only NaN survives the delay check (cold)
+            raise SimulationError("cannot schedule at time NaN")
+        seq = self._seq
+        self._seq = seq + 1
+        if time == now:
+            self._ready.append((time, seq, fn, args))
+        else:
+            _heappush(self._heap, (time, seq, fn, args))
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`at` (see :meth:`call_in`)."""
+        now = self.now
+        if not time >= now:
+            if math.isnan(time):
+                raise SimulationError("cannot schedule at time NaN")
+            raise SimulationError(
+                f"cannot schedule at {time}: clock is already at {now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        if time == now:
+            self._ready.append((time, seq, fn, args))
+        else:
+            _heappush(self._heap, (time, seq, fn, args))
 
     def run(self, until: Optional[float] = None) -> None:
         """Run events in order until the calendar drains or ``until`` is hit.
@@ -161,21 +280,51 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        ready = self._ready
+        heappop = _heappop
+        fired = 0
         try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
-                if until is not None and event.time > until:
+            while not self._stopped:
+                if ready:
+                    # Ready entries sit at the current time; a heap entry
+                    # can only precede them via a smaller seq at that
+                    # same time.
+                    head = ready[0]
+                    if heap and heap[0][0] == head[0] and heap[0][1] < head[1]:
+                        entry = heappop(heap)
+                    else:
+                        entry = ready.popleft()
+                    if until is not None and entry[0] > until:
+                        # Only reachable when until < now (a clock that
+                        # was clamped forward past ``until`` by an
+                        # earlier run); put the entry back untouched.
+                        ready.appendleft(entry)
+                        break
+                elif heap:
+                    if until is not None and heap[0][0] > until:
+                        break
+                    entry = heappop(heap)
+                else:
                     break
-                heapq.heappop(self._heap)
+                if len(entry) == 4:
+                    # Fire-and-forget entry: nothing to cancel, no Event.
+                    self.now = entry[0]
+                    fired += 1
+                    entry[2](*entry[3])
+                    continue
+                event = entry[2]
                 event._in_heap = False
                 if event.cancelled:
                     self._cancelled -= 1
                     continue
-                self._now = event.time
+                self.now = entry[0]
+                fired += 1
                 event.fn(*event.args)
-            if until is not None and not self._stopped and self._now < until:
-                self._now = until
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
         finally:
+            self.events_fired += fired
             self._running = False
 
     def stop(self) -> None:

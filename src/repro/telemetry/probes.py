@@ -20,6 +20,7 @@ Three kinds:
 from __future__ import annotations
 
 import bisect
+import math
 from array import array
 from typing import Callable, Iterator, Optional, Sequence
 
@@ -71,6 +72,12 @@ class CounterProbe(Probe):
         super().__init__(name)
         self._times: array = array("d")
         self._totals: array = array("d")
+        # Hot-path caches: increment() fires once per packet event, so the
+        # running total and last timestamp live in plain attributes rather
+        # than being re-read from the array tails on every call.
+        self._total = 0.0
+        self._last_time = -math.inf
+        self._integral = True  # every increment so far was a whole number
 
     @property
     def times(self) -> Sequence[float]:
@@ -85,30 +92,54 @@ class CounterProbe(Probe):
         return self._times
 
     @property
-    def count(self) -> int:
-        return int(self._totals[-1]) if self._totals else 0
+    def count(self) -> "int | float":
+        total = self._total
+        if self._integral:
+            return int(total)
+        return total
 
-    def increment(self, time: float, amount: float = 1) -> None:
-        if self._times and time < self._times[-1]:
+    def increment(self, time: float, amount: "int | float" = 1) -> None:
+        if time < self._last_time:
             raise ValueError(
-                f"events must be time-ordered: {time} < {self._times[-1]}"
+                f"events must be time-ordered: {time} < {self._last_time}"
             )
+        if amount.__class__ is not int:
+            # Fractional (byte-weighted) increments demote count_in() to
+            # exact float differences; the common amount=1 path pays one
+            # class check only.
+            if self._integral and not float(amount).is_integer():
+                self._integral = False
+        self._last_time = time
+        total = self._total + amount
+        self._total = total
         self._times.append(time)
-        self._totals.append((self._totals[-1] if self._totals else 0.0) + amount)
+        self._totals.append(total)
 
-    def count_in(self, start: float, end: float) -> int:
-        """Total amount incremented over the half-open window [start, end)."""
+    def count_in(self, start: float, end: float) -> "int | float":
+        """Total amount incremented over the half-open window [start, end).
 
-        def cumulative_before(t: float) -> float:
-            idx = bisect.bisect_left(self._times, t) - 1
-            return self._totals[idx] if idx >= 0 else 0.0
-
-        return int(cumulative_before(end) - cumulative_before(start))
+        Returns an ``int`` only when every increment was integral; a
+        counter fed fractional amounts gets the exact float difference
+        (the old implementation silently floored it through ``int()``).
+        """
+        times = self._times
+        totals = self._totals
+        idx = bisect.bisect_left(times, end) - 1
+        after = totals[idx] if idx >= 0 else 0.0
+        idx = bisect.bisect_left(times, start) - 1
+        before = totals[idx] if idx >= 0 else 0.0
+        diff = after - before
+        return int(diff) if self._integral else diff
 
     def load(self, times: Sequence[float], totals: Sequence[float]) -> None:
         """Replace contents from an exported snapshot (trace replay)."""
         self._times = array("d", times)
         self._totals = array("d", totals)
+        self._total = self._totals[-1] if self._totals else 0.0
+        self._last_time = self._times[-1] if self._times else -math.inf
+        # Integral running totals imply integral increments (totals start
+        # from zero), so replayed counters keep the int/float contract.
+        self._integral = all(v.is_integer() for v in self._totals)
 
 
 class SeriesProbe(Probe):

@@ -55,17 +55,45 @@ class TimeSeries:
         return self._values
 
     def append(self, time: float, value: float) -> None:
-        if self._times and time < self._times[-1]:
+        times = self._times
+        if times and time < times[-1]:
             raise ValueError(
-                f"samples must be time-ordered: {time} < {self._times[-1]}"
+                f"samples must be time-ordered: {time} < {times[-1]}"
             )
-        self._times.append(time)
+        times.append(time)
         self._values.append(value)
 
     def extend(self, times: Iterable[float], values: Iterable[float]) -> None:
-        """Bulk-append pre-ordered samples (used when loading traces)."""
-        for time, value in zip(times, values):
-            self.append(time, value)
+        """Bulk-append pre-ordered samples (used when loading traces).
+
+        Ordering is validated once over the whole input, then both buffers
+        grow through a single C-level ``array.extend`` — no per-sample
+        Python ``append`` (with its comparison) in the loop, which is what
+        used to dominate trace-replay load time.  Unordered input raises
+        ``ValueError`` *before* anything is appended, so a failed extend
+        leaves the series untouched.
+        """
+        new_times = array("d", times)
+        new_values = array("d", values)
+        # zip() semantics: the shorter input decides how much is appended.
+        n = min(len(new_times), len(new_values))
+        del new_times[n:], new_values[n:]
+        if not n:
+            return
+        ordered = new_times.tolist()
+        if self._times and ordered[0] < self._times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {ordered[0]} < {self._times[-1]}"
+            )
+        if ordered != sorted(ordered):
+            for i in range(1, n):
+                if ordered[i] < ordered[i - 1]:
+                    raise ValueError(
+                        "samples must be time-ordered: "
+                        f"{ordered[i]} < {ordered[i - 1]}"
+                    )
+        self._times.extend(new_times)
+        self._values.extend(new_values)
 
     def window(self, start: float, end: float) -> "TimeSeries":
         """Samples with start <= time < end, as a new series."""
@@ -113,9 +141,24 @@ class TimeSeries:
 
 
 def interval_average(
-    samples: Iterable[tuple[float, float]], start: float, end: float
+    samples: "TimeSeries | Iterable[tuple[float, float]]",
+    start: float,
+    end: float,
 ) -> float:
-    """Average value of samples with start <= t < end; NaN when none."""
+    """Average value of samples with start <= t < end; NaN when none.
+
+    A :class:`TimeSeries` (time-sorted by construction) is windowed with
+    two bisects and a C-level slice sum instead of scanning every sample;
+    arbitrary iterables fall back to the linear scan.
+    """
+    if isinstance(samples, TimeSeries):
+        times = samples._times
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_left(times, end)
+        if hi <= lo:
+            return math.nan
+        window = samples._values[lo:hi]
+        return sum(window) / len(window)
     total = 0.0
     count = 0
     for t, v in samples:
@@ -132,27 +175,36 @@ class Counter:
     into rates over arbitrary windows.
     """
 
-    __slots__ = ("_series", "_count")
+    __slots__ = ("_series", "_count", "_integral")
 
     def __init__(self) -> None:
         self._count = 0
         self._series = TimeSeries()
+        self._integral = True  # every increment so far was a whole number
 
     @property
-    def count(self) -> int:
+    def count(self) -> "int | float":
         return self._count
 
-    def increment(self, time: float, amount: int = 1) -> None:
+    def increment(self, time: float, amount: "int | float" = 1) -> None:
+        if amount.__class__ is not int:
+            if self._integral and not float(amount).is_integer():
+                self._integral = False
         self._count += amount
         self._series.append(time, self._count)
 
-    def count_in(self, start: float, end: float) -> int:
-        """Total amount incremented over the half-open window [start, end)."""
+    def count_in(self, start: float, end: float) -> "int | float":
+        """Total amount incremented over the half-open window [start, end).
+
+        Returns an ``int`` only when every increment was integral;
+        fractional (e.g. byte-weighted) counters get the exact float
+        difference instead of a silent ``int()`` floor.
+        """
         times = self._series.times
         values = self._series.values
-
-        def cumulative_before(t: float) -> int:
-            idx = bisect.bisect_left(times, t) - 1
-            return int(values[idx]) if idx >= 0 else 0
-
-        return cumulative_before(end) - cumulative_before(start)
+        idx = bisect.bisect_left(times, end) - 1
+        after = values[idx] if idx >= 0 else 0.0
+        idx = bisect.bisect_left(times, start) - 1
+        before = values[idx] if idx >= 0 else 0.0
+        diff = after - before
+        return int(diff) if self._integral else diff

@@ -114,7 +114,7 @@ class TestShares:
 
         def feed(flow, times):
             for t in times:
-                sim._now = t  # direct clock manipulation for the fixture
+                sim.now = t  # direct clock manipulation for the fixture
                 accountant.on_deliver(
                     Packet(flow, DATA, 0, 1000, 0, 1)
                 )

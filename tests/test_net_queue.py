@@ -174,3 +174,92 @@ class TestRedForBdp:
         q = red_for_bdp(64e3, 0.050, packet_size=1000)
         assert q.capacity_pkts >= 4
         assert q.max_thresh > q.min_thresh >= 1.0
+
+
+class TestCapacityAccountingContract:
+    """Pin the N waiting + 1 in service convention (ns-2 style).
+
+    ``capacity_pkts`` bounds *waiting* packets only; the packet being
+    serialized is dequeued by the link and exposed as ``in_service``.
+    Redefining capacity to include the in-service packet would shrink
+    every buffer by one and perturb all figure tables.
+    """
+
+    def test_busy_link_holds_capacity_plus_one(self):
+        from repro.sim.engine import Simulator
+        from repro.net.link import Link
+
+        sim = Simulator()
+        link = Link(sim, 8e3, 0.0, DropTailQueue(2))  # 1s per 1000B packet
+        delivered = []
+        link.connect(delivered.append)
+        for seq in range(4):
+            link.send(make_packet(seq))
+        # One in service + two waiting; the fourth arrival was tail-dropped.
+        assert link.in_service is not None and link.in_service.seq == 0
+        assert len(link.queue) == 2
+        sim.run()
+        assert [p.seq for p in delivered] == [0, 1, 2]
+        assert link.in_service is None
+
+    def test_in_service_tracks_current_packet(self):
+        from repro.sim.engine import Simulator
+        from repro.net.link import Link
+
+        sim = Simulator()
+        link = Link(sim, 8e3, 0.0, DropTailQueue(5))
+        link.connect(lambda p: None)
+        assert link.in_service is None
+        first, second = make_packet(0), make_packet(1)
+        link.send(first)
+        link.send(second)
+        assert link.in_service is first
+        sim.run(until=1.5)  # first finished, second mid-serialization
+        assert link.in_service is second
+        sim.run()
+        assert link.in_service is None
+
+
+class TestIdleBypass:
+    """The idle-link fast path must be invisible to every observer."""
+
+    def _link(self, queue):
+        from repro.sim.engine import Simulator
+        from repro.net.link import Link
+
+        sim = Simulator()
+        link = Link(sim, 8e6, 0.001, queue)
+        delivered = []
+        link.connect(delivered.append)
+        return sim, link, delivered
+
+    def test_bypass_delivers_identically(self):
+        sim, link, delivered = self._link(DropTailQueue(10))
+        for seq in range(3):
+            link.send(make_packet(seq))
+        sim.run()
+        assert [p.seq for p in delivered] == [0, 1, 2]
+
+    def test_observed_queue_never_bypasses(self):
+        # An attached observer must see every arrival, so the fast path
+        # is disabled and counts match the packets offered.
+        sim, link, delivered = self._link(DropTailQueue(10))
+        obs = RecordingObserver()
+        link.queue.observer = obs
+        for seq in range(3):
+            link.send(make_packet(seq))
+        sim.run()
+        assert obs.arrivals == 3
+        assert len(delivered) == 3
+
+    def test_red_opts_out_of_bypass(self):
+        q = red_for_bdp(10e6, 0.05)
+        assert q.bypass_idle is False
+        assert DropTailQueue(1).bypass_idle is True
+
+    def test_bypassed_packet_gets_enqueued_at_stamp(self):
+        sim, link, delivered = self._link(DropTailQueue(10))
+        packet = make_packet(0)
+        sim.at(2.0, link.send, packet)
+        sim.run()
+        assert packet.enqueued_at == 2.0

@@ -1,0 +1,171 @@
+"""The fast-path kernel fires in exactly the pre-overhaul order.
+
+The tuple-keyed calendar, the same-time ready deque and the
+fire-and-forget ``call_in``/``call_at`` entries are pure performance
+work: the observable contract — events fire in ``(time, seq)`` order,
+cancelled events never fire, compaction is invisible — must match the
+frozen pre-overhaul kernel in :mod:`repro.perf.reference` exactly.
+These tests drive random schedule / cancel / compaction churn through
+both kernels and compare the full firing transcripts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.reference import ReferenceSimulator
+from repro.sim.engine import Simulator
+
+# One churn program = a list of instructions interpreted against a kernel:
+#   ("at", time_fraction)        schedule at now + fraction * horizon
+#   ("now", 0)                   schedule at exactly the current time
+#   ("cancel", k)                cancel the k-th not-yet-cancelled event
+#   ("nested", time_fraction)    the scheduled callback schedules another
+_INSTRUCTION = st.one_of(
+    st.tuples(st.just("at"), st.floats(0.0, 1.0, allow_nan=False)),
+    st.tuples(st.just("now"), st.just(0.0)),
+    st.tuples(st.just("cancel"), st.integers(0, 1000)),
+    st.tuples(st.just("nested"), st.floats(0.0, 1.0, allow_nan=False)),
+)
+
+
+def _run_program(sim, program, horizon=100.0):
+    """Interpret a churn program; returns the firing transcript."""
+    transcript = []
+    events = []
+
+    def fire(tag):
+        transcript.append((sim.now, tag))
+
+    def nested(tag, offset):
+        transcript.append((sim.now, tag))
+        events.append(sim.at(sim.now + offset, fire, f"{tag}.child"))
+
+    for i, (op, arg) in enumerate(program):
+        if op == "at":
+            events.append(sim.at(arg * horizon, fire, f"e{i}"))
+        elif op == "now":
+            events.append(sim.at(sim.now, fire, f"e{i}"))
+        elif op == "cancel":
+            live = [e for e in events if not e.cancelled]
+            if live:
+                live[int(arg) % len(live)].cancel()
+        elif op == "nested":
+            events.append(sim.at(arg * horizon, nested, f"e{i}", arg * 0.5))
+    sim.run()
+    return transcript
+
+
+class TestOrderingOracle:
+    @given(program=st.lists(_INSTRUCTION, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_transcripts_match_reference_kernel(self, program):
+        live = _run_program(Simulator(), program)
+        ref = _run_program(ReferenceSimulator(), program)
+        assert live == ref
+
+    @given(program=st.lists(_INSTRUCTION, min_size=10, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_transcripts_match_under_aggressive_compaction(self, program):
+        # Force the sweep on nearly every cancellation so the in-place
+        # compaction of both the heap and the ready deque is exercised
+        # while the run loop may be holding references to them.
+        live_sim, ref_sim = Simulator(), ReferenceSimulator()
+        live_sim.COMPACT_MIN_CANCELLED = 0
+        ref_sim.COMPACT_MIN_CANCELLED = 0
+        assert _run_program(live_sim, program) == _run_program(ref_sim, program)
+
+    @given(
+        deltas=st.lists(st.floats(0.0, 10.0, allow_nan=False), max_size=40),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_call_in_interleaves_with_events_in_seq_order(self, deltas, data):
+        # Mixing cancellable at() events and fire-and-forget call_in
+        # entries must preserve the global (time, seq) order: both draw
+        # seq from the same counter.  The reference kernel has no
+        # call_in, so the oracle is plain schedule() there.
+        choices = [data.draw(st.booleans()) for _ in deltas]
+
+        def drive(sim, fire_and_forget):
+            transcript = []
+            for i, (delta, cheap) in enumerate(zip(deltas, choices)):
+                record = lambda i=i: transcript.append((sim.now, i))
+                if cheap and fire_and_forget:
+                    sim.call_in(delta, record)
+                else:
+                    sim.schedule(delta, record)
+            sim.run()
+            return transcript
+
+        assert drive(Simulator(), True) == drive(ReferenceSimulator(), False)
+
+
+class TestCallInContract:
+    def test_call_at_fires_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(2.5, fired.append, "x")
+        sim.run()
+        assert fired == ["x"] and sim.now == 2.5
+
+    def test_call_in_rejects_negative_delay_and_nan(self):
+        import math
+
+        from repro.sim.engine import SimulationError
+
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_in(-0.1, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.call_in(math.nan, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.call_at(math.nan, lambda: None)
+
+    def test_call_at_rejects_past_times(self):
+        from repro.sim.engine import SimulationError
+
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_call_in_same_time_uses_ready_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(1.0, lambda: (order.append("a"), sim.call_in(0.0, order.append, "c")))
+        sim.call_at(1.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_pending_counts_fire_and_forget_entries(self):
+        sim = Simulator()
+        sim.call_in(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_events_fired_counts_both_entry_kinds(self):
+        sim = Simulator()
+        sim.call_in(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        cancelled = sim.schedule(3.0, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        assert sim.events_fired == 2
+
+    def test_compaction_never_drops_fire_and_forget_entries(self):
+        # 4-tuple entries cannot be cancelled; a sweep triggered by a
+        # storm of cancelled Events must leave them all in place.
+        sim = Simulator()
+        sim.COMPACT_MIN_CANCELLED = 0
+        fired = []
+        for i in range(20):
+            sim.call_in(float(i + 1), fired.append, i)
+        doomed = [sim.schedule(50.0 + i, lambda: None) for i in range(40)]
+        for event in doomed:
+            event.cancel()  # each cancel can trigger a sweep
+        sim.run()
+        assert fired == list(range(20))

@@ -8,6 +8,8 @@ trace export / :class:`TraceReader` round trip.
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.net import Dumbbell
 from repro.sim import Simulator
@@ -335,3 +337,151 @@ class TestSimulationTraceRoundTrip:
             assert flows.throughput_bps(fid, 0.0, 4.0) == (
                 net.accountant.throughput_bps(fid, 0.0, 4.0)
             )
+
+
+# ---------------------------------------------------------------------------
+# Windowed-count correctness: property tests against a brute-force oracle
+# ---------------------------------------------------------------------------
+
+
+def _brute_force_count_in(events, start, end):
+    """Oracle: sum of amounts with start <= t < end (exact, no cumsum)."""
+    return sum(amount for t, amount in events if start <= t < end)
+
+
+def _counter_impls():
+    from repro.telemetry.series import Counter
+
+    return [("CounterProbe", CounterProbe), ("series.Counter", Counter)]
+
+
+@pytest.mark.parametrize("label,factory", _counter_impls())
+class TestCountInProperties:
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(0.0, 100.0, allow_nan=False),
+                st.integers(1, 10_000),
+            ),
+            max_size=50,
+        ),
+        window=st.tuples(
+            st.floats(-10.0, 110.0, allow_nan=False),
+            st.floats(-10.0, 110.0, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_integral_counts_match_brute_force(self, label, factory, events, window):
+        events = sorted(events)
+        counter = factory()
+        for t, amount in events:
+            counter.increment(t, amount)
+        start, end = min(window), max(window)
+        got = counter.count_in(start, end)
+        assert isinstance(got, int)
+        assert got == _brute_force_count_in(events, start, end)
+
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(0.0, 100.0, allow_nan=False),
+                st.floats(0.001, 10_000.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        window=st.tuples(
+            st.floats(-10.0, 110.0, allow_nan=False),
+            st.floats(-10.0, 110.0, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_fractional_counts_are_exact_differences(
+        self, label, factory, events, window
+    ):
+        # The old implementation truncated through int(): a window
+        # holding 0.6 + 0.6 bytes reported 1, not 1.2.  Fractional
+        # counters must return the exact cumulative difference.
+        events = sorted(events)
+        counter = factory()
+        for t, amount in events:
+            counter.increment(t, amount)
+        start, end = min(window), max(window)
+        got = counter.count_in(start, end)
+        expected = _brute_force_count_in(events, start, end)
+        # The cumulative-difference implementation accumulates float
+        # error relative to the per-event oracle; bound it tightly.
+        assert got == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+    def test_truncation_regression(self, label, factory):
+        counter = factory()
+        counter.increment(0.0, 0.6)
+        counter.increment(1.0, 0.6)
+        got = counter.count_in(0.0, 2.0)
+        assert isinstance(got, float)
+        assert got == pytest.approx(1.2)
+
+    def test_integer_valued_floats_stay_integral_ints(self, label, factory):
+        counter = factory()
+        counter.increment(0.0, 2.0)  # float, but a whole number
+        counter.increment(1.0, 3)
+        assert counter.count_in(0.0, 2.0) == 5
+        assert isinstance(counter.count_in(0.0, 2.0), int)
+
+
+# ---------------------------------------------------------------------------
+# TimeSeries.extend: bulk loading
+# ---------------------------------------------------------------------------
+
+
+class TestTimeSeriesExtend:
+    def _series(self):
+        from repro.telemetry.series import TimeSeries
+
+        return TimeSeries("s")
+
+    def test_extend_matches_repeated_append(self):
+        a, b = self._series(), self._series()
+        times = [0.0, 1.0, 1.0, 2.5]
+        values = [1.0, 2.0, 3.0, 4.0]
+        a.extend(times, values)
+        for t, v in zip(times, values):
+            b.append(t, v)
+        assert list(a.times) == list(b.times)
+        assert list(a.values) == list(b.values)
+
+    def test_unordered_input_raises_and_leaves_series_untouched(self):
+        series = self._series()
+        series.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.extend([1.0, 0.5], [1.0, 2.0])
+        assert len(series) == 1  # nothing was partially appended
+
+    def test_extend_must_not_regress_behind_existing_samples(self):
+        series = self._series()
+        series.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.extend([4.0], [1.0])
+
+    def test_extend_truncates_to_shorter_input(self):
+        series = self._series()
+        series.extend([0.0, 1.0, 2.0], [1.0, 2.0])  # zip semantics
+        assert list(series.times) == [0.0, 1.0]
+
+    def test_extend_empty_is_a_noop(self):
+        series = self._series()
+        series.extend([], [])
+        assert len(series) == 0
+
+    def test_trace_reader_round_trips_extend_loaded_series(self):
+        # SeriesProbe.load goes through extend(); a recorded trace must
+        # come back sample-for-sample.
+        recorder = Recorder()
+        probe = recorder.series("flow.1.bytes")
+        for t in range(5):
+            probe.record(float(t), float(t * 100))
+        text = recorder.export_text()
+        reader = TraceReader.loads(text)
+        clone = reader.channel("flow.1.bytes")
+        assert list(clone.times) == list(probe.times)
+        assert list(clone.values) == list(probe.values)
