@@ -23,6 +23,7 @@ from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.telemetry import active_recorder
 from repro.telemetry.probes import Probe
+from repro.units import Bytes, Packets, Seconds
 
 __all__ = ["WindowRule", "Endpoint", "Sender", "Receiver", "establish"]
 
@@ -40,18 +41,18 @@ class WindowRule(abc.ABC):
     name = "abstract"
 
     @abc.abstractmethod
-    def increase_per_ack(self, w: float) -> float:
+    def increase_per_ack(self, w: Packets) -> Packets:
         """Additive window increment applied for one new ACK."""
 
     @abc.abstractmethod
-    def decrease(self, w: float) -> float:
+    def decrease(self, w: Packets) -> Packets:
         """New window after a loss event (>= 1)."""
 
 
 class Endpoint:
     """One end of a flow: owns the node binding and packet construction."""
 
-    def __init__(self, sim: Simulator, packet_size: int = 1000):
+    def __init__(self, sim: Simulator, packet_size: Bytes = 1000):
         self.sim = sim
         self.packet_size = packet_size
         self.node: Optional[Node] = None
@@ -71,7 +72,7 @@ class Endpoint:
         seq: int,
         size: int,
         ack_seq: int = -1,
-        echo: float = -1.0,
+        echo: Seconds = -1.0,
         info=None,
         ect: bool = False,
         ece: bool = False,
@@ -109,7 +110,7 @@ class Sender(Endpoint):
     def __init__(
         self,
         sim: Simulator,
-        packet_size: int = 1000,
+        packet_size: Bytes = 1000,
         max_packets: Optional[int] = None,
     ):
         super().__init__(sim, packet_size)
@@ -132,7 +133,7 @@ class Sender(Endpoint):
         self.started_at = self.sim.now
         self._begin()
 
-    def start_at(self, time: float) -> None:
+    def start_at(self, time: Seconds) -> None:
         """Schedule :meth:`start` at an absolute simulation time."""
         self.sim.at(time, self.start)
 
@@ -144,7 +145,7 @@ class Sender(Endpoint):
         self.stopped_at = self.sim.now
         self._halt()
 
-    def stop_at(self, time: float) -> None:
+    def stop_at(self, time: Seconds) -> None:
         self.sim.at(time, self.stop)
 
     def _begin(self) -> None:  # pragma: no cover - abstract
@@ -167,7 +168,7 @@ class Receiver(Endpoint):
     dumbbell's :class:`~repro.net.monitor.FlowAccountant` subscribes here.
     """
 
-    def __init__(self, sim: Simulator, packet_size: int = 1000):
+    def __init__(self, sim: Simulator, packet_size: Bytes = 1000):
         super().__init__(sim, packet_size)
         self.on_data: list[Callable[[Packet], None]] = []
         self.packets_received = 0

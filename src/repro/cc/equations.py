@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import math
 
+from repro.units import Bytes, PacketsPerSecond, Ratio, Seconds
+
 __all__ = [
     "simple_response_rate",
     "aimd_response_rate",
@@ -30,7 +32,7 @@ __all__ = [
 ]
 
 
-def simple_response_rate(p: float) -> float:
+def simple_response_rate(p: Ratio) -> float:
     """Pure-AIMD (TCP a=1, b=1/2) rate in packets/RTT: sqrt(1.5 / p).
 
     The deterministic sawtooth model: one drop every 1/p packets.  Valid for
@@ -42,7 +44,7 @@ def simple_response_rate(p: float) -> float:
     return math.sqrt(1.5 / p)
 
 
-def aimd_response_rate(p: float, a: float, b: float) -> float:
+def aimd_response_rate(p: Ratio, a: float, b: float) -> float:
     """Deterministic-model rate of AIMD(a, b) in packets/RTT.
 
     The sawtooth oscillates between (1-b)W and W with slope a per RTT; the
@@ -58,12 +60,12 @@ def aimd_response_rate(p: float, a: float, b: float) -> float:
 
 
 def padhye_rate_pps(
-    p: float,
-    rtt_s: float,
-    rto_s: float | None = None,
-    packet_size: int = 1000,
+    p: Ratio,
+    rtt_s: Seconds,
+    rto_s: Seconds | None = None,
+    packet_size: Bytes = 1000,
     max_burst_ratio: float = 3.0,
-) -> float:
+) -> PacketsPerSecond:
     """Padhye et al. Reno throughput in packets per second.
 
     X = 1 / (R*sqrt(2p/3) + t_RTO * min(1, 3*sqrt(3p/8)) * p * (1 + 32 p^2))
@@ -88,12 +90,14 @@ def padhye_rate_pps(
     return 1.0 / (rtt_s * sqrt_term + timeout_term)
 
 
-def padhye_rate_per_rtt(p: float, rtt_s: float = 1.0, rto_s: float | None = None) -> float:
+def padhye_rate_per_rtt(
+    p: Ratio, rtt_s: Seconds = 1.0, rto_s: Seconds | None = None
+) -> float:
     """Padhye model in packets per RTT (Figure 20's y-axis)."""
     return padhye_rate_pps(p, rtt_s, rto_s) * rtt_s
 
 
-def aimd_with_timeouts_rate(p: float) -> float:
+def aimd_with_timeouts_rate(p: Ratio) -> float:
     """Appendix A model: AIMD extended below one packet/RTT via backoff.
 
     rate = (1/(1-p)) / (2^(1/(1-p)) - 1) packets per RTT.
@@ -110,7 +114,7 @@ def aimd_with_timeouts_rate(p: float) -> float:
     return n_plus_1 / (2.0 ** n_plus_1 - 1.0)
 
 
-def invert_simple_response(rate_per_rtt: float) -> float:
+def invert_simple_response(rate_per_rtt: float) -> Ratio:
     """Loss rate that yields ``rate_per_rtt`` under the sqrt(1.5/p) model."""
     if rate_per_rtt <= 0:
         raise ValueError("rate must be positive")

@@ -26,6 +26,7 @@ from repro.cc.base import ACK_SIZE, Receiver, Sender
 from repro.net.packet import ACK, DATA, Packet
 from repro.sim.engine import Simulator, Timer
 from repro.telemetry.probes import SeriesProbe
+from repro.units import Bytes, PacketsPerSecond, Ratio, Seconds
 
 __all__ = ["RapSender", "RapSink", "new_rap_flow"]
 
@@ -49,11 +50,11 @@ class RapSender(Sender):
     def __init__(
         self,
         sim: Simulator,
-        b: float = 0.5,
+        b: Ratio = 0.5,
         a: Optional[float] = None,
-        packet_size: int = 1000,
+        packet_size: Bytes = 1000,
         max_packets: Optional[int] = None,
-        initial_rtt: float = 0.5,
+        initial_rtt: Seconds = 0.5,
         conservative: bool = False,
     ):
         super().__init__(sim, packet_size, max_packets)
@@ -83,7 +84,7 @@ class RapSender(Sender):
     # Rate bookkeeping -----------------------------------------------------------
 
     @property
-    def rate_pps(self) -> float:
+    def rate_pps(self) -> PacketsPerSecond:
         return self.w / self.srtt
 
     def _record_rate(self) -> None:
@@ -181,7 +182,7 @@ class RapSender(Sender):
             self.w = max(min(self.w, self._ack_rate_window()), 1.0)
         self._record_rate()
 
-    def _sample_rtt(self, sample: float) -> None:
+    def _sample_rtt(self, sample: Seconds) -> None:
         if sample <= 0:
             return
         self.srtt += 0.125 * (sample - self.srtt)
@@ -199,8 +200,8 @@ class RapSink(Receiver):
 
 def new_rap_flow(
     sim: Simulator,
-    b: float = 0.5,
-    packet_size: int = 1000,
+    b: Ratio = 0.5,
+    packet_size: Bytes = 1000,
     **sender_kwargs,
 ) -> tuple[RapSender, RapSink]:
     """Convenience constructor for a RAP sender/sink pair (not attached)."""

@@ -28,6 +28,7 @@ from repro.cc.binomial import tcp_rule
 from repro.net.packet import ACK, DATA, Packet
 from repro.sim.engine import Simulator, Timer
 from repro.telemetry.probes import CounterProbe, SeriesProbe
+from repro.units import Bytes, Seconds
 
 __all__ = ["TcpSender", "TcpSink", "new_tcp_flow"]
 
@@ -70,12 +71,12 @@ class TcpSender(Sender):
         self,
         sim: Simulator,
         rule: Optional[WindowRule] = None,
-        packet_size: int = 1000,
+        packet_size: Bytes = 1000,
         max_packets: Optional[int] = None,
         initial_ssthresh: float = 1e9,
-        min_rto: float = 0.2,
-        max_rto: float = 60.0,
-        initial_rto: float = 1.0,
+        min_rto: Seconds = 0.2,
+        max_rto: Seconds = 60.0,
+        initial_rto: Seconds = 1.0,
         max_cwnd: Optional[float] = None,
         ecn: bool = False,
         limited_transmit: bool = False,
@@ -268,7 +269,7 @@ class TcpSender(Sender):
 
     # RTT estimation ----------------------------------------------------------------
 
-    def _sample_rtt(self, sample: float) -> None:
+    def _sample_rtt(self, sample: Seconds) -> None:
         if sample <= 0 or self._backoff > 1:
             return  # Karn: ignore samples that may belong to retransmissions
         if self.srtt is None:
@@ -311,7 +312,7 @@ class TcpSink(Receiver):
     def __init__(
         self,
         sim: Simulator,
-        packet_size: int = 1000,
+        packet_size: Bytes = 1000,
         delayed_acks: bool = False,
     ):
         super().__init__(sim, packet_size)
@@ -372,7 +373,7 @@ class TcpSink(Receiver):
 def new_tcp_flow(
     sim: Simulator,
     rule: Optional[WindowRule] = None,
-    packet_size: int = 1000,
+    packet_size: Bytes = 1000,
     max_packets: Optional[int] = None,
     delayed_acks: bool = False,
     **sender_kwargs,

@@ -33,6 +33,7 @@ from repro.cc.equations import padhye_rate_pps
 from repro.net.packet import DATA, FEEDBACK, Packet
 from repro.sim.engine import Simulator, Timer
 from repro.telemetry.probes import SeriesProbe
+from repro.units import BitsPerSecond, Bytes, Ratio, Seconds
 
 __all__ = ["TfrcReport", "TfrcReceiver", "TfrcSender", "new_tfrc_flow", "interval_weights"]
 
@@ -64,7 +65,12 @@ class TfrcReport:
     __slots__ = ("p", "recv_rate_bps", "loss_reported", "echo", "hold")
 
     def __init__(
-        self, p: float, recv_rate_bps: float, loss_reported: bool, echo: float, hold: float
+        self,
+        p: Ratio,
+        recv_rate_bps: BitsPerSecond,
+        loss_reported: bool,
+        echo: Seconds,
+        hold: Seconds,
     ):
         self.p = p
         self.recv_rate_bps = recv_rate_bps
@@ -93,7 +99,7 @@ class LossHistory:
     def on_packet(self) -> None:
         self.open_interval += 1
 
-    def on_loss(self, now: float, rtt: float) -> bool:
+    def on_loss(self, now: Seconds, rtt: Seconds) -> bool:
         """Record a lost packet; returns True if it starts a new loss event."""
         if now < self._event_open_until:
             return False  # same loss event
@@ -142,7 +148,7 @@ class LossHistory:
         avg_with_open = self._weighted_average(with_open, multipliers)
         return max(avg_closed, avg_with_open)
 
-    def loss_event_rate(self) -> float:
+    def loss_event_rate(self) -> Ratio:
         avg = self.average_interval()
         if avg <= 0:
             return 0.0
@@ -156,9 +162,9 @@ class TfrcReceiver(Receiver):
         self,
         sim: Simulator,
         n_intervals: int = 6,
-        packet_size: int = 1000,
+        packet_size: Bytes = 1000,
         history_discounting: bool = True,
-        initial_rtt: float = 0.5,
+        initial_rtt: Seconds = 0.5,
     ):
         super().__init__(sim, packet_size)
         self.history = LossHistory(n_intervals, history_discounting)
@@ -247,9 +253,9 @@ class TfrcSender(Sender):
     def __init__(
         self,
         sim: Simulator,
-        packet_size: int = 1000,
+        packet_size: Bytes = 1000,
         max_packets: Optional[int] = None,
-        initial_rtt: float = 0.5,
+        initial_rtt: Seconds = 0.5,
         conservative: bool = False,
         conservative_c: float = 1.1,
         oscillation_prevention: bool = False,
@@ -292,10 +298,10 @@ class TfrcSender(Sender):
     # Transmission ----------------------------------------------------------------
 
     @property
-    def rtt(self) -> float:
+    def rtt(self) -> Seconds:
         return self.srtt if self.srtt is not None else self._initial_rtt
 
-    def _min_rate_bps(self) -> float:
+    def _min_rate_bps(self) -> BitsPerSecond:
         return self.packet_size * 8.0 / T_MBI
 
     def _record_rate(self) -> None:
@@ -381,7 +387,7 @@ class TfrcSender(Sender):
             allowed *= self._rtt_sqmean / math.sqrt(self._last_rtt_sample)
         self.rate_bps = max(allowed, self._min_rate_bps())
 
-    def _equation_rate_bps(self, p: float) -> float:
+    def _equation_rate_bps(self, p: Ratio) -> BitsPerSecond:
         pps = padhye_rate_pps(p, self.rtt, rto_s=4.0 * self.rtt)
         return pps * self.packet_size * 8.0
 
@@ -398,7 +404,7 @@ class TfrcSender(Sender):
 def new_tfrc_flow(
     sim: Simulator,
     n_intervals: int = 6,
-    packet_size: int = 1000,
+    packet_size: Bytes = 1000,
     conservative: bool = False,
     history_discounting: bool = True,
     oscillation_prevention: bool = False,

@@ -26,6 +26,7 @@ from repro.cc.tcp import new_tcp_flow
 from repro.cc.tear import new_tear_flow
 from repro.cc.tfrc import new_tfrc_flow
 from repro.sim.engine import Simulator
+from repro.units import Bytes, Ratio
 
 __all__ = [
     "PROTOCOL_FAMILIES",
@@ -120,12 +121,12 @@ def standard_gammas() -> list[int]:
     return [1, 2, 4, 8, 16, 32, 64, 128, 256]
 
 
-def tcp(gamma: float = 2.0, packet_size: int = 1000) -> Protocol:
+def tcp(gamma: float = 2.0, packet_size: Bytes = 1000) -> Protocol:
     """TCP(1/gamma): window-based AIMD with the full TCP machinery."""
     return tcp_b(1.0 / gamma, packet_size)
 
 
-def tcp_b(b: float, packet_size: int = 1000) -> Protocol:
+def tcp_b(b: Ratio, packet_size: Bytes = 1000) -> Protocol:
     """TCP(b) by decrease factor (TCP(0.5) is standard TCP)."""
     return Protocol(
         name=f"TCP({b:g})",
@@ -134,7 +135,7 @@ def tcp_b(b: float, packet_size: int = 1000) -> Protocol:
     )
 
 
-def sqrt(gamma: float = 2.0, packet_size: int = 1000) -> Protocol:
+def sqrt(gamma: float = 2.0, packet_size: Bytes = 1000) -> Protocol:
     """SQRT(1/gamma): the k = l = 1/2 binomial on the TCP machinery."""
     b = 1.0 / gamma
     return Protocol(
@@ -144,7 +145,7 @@ def sqrt(gamma: float = 2.0, packet_size: int = 1000) -> Protocol:
     )
 
 
-def iiad(b: float = 1.0, packet_size: int = 1000) -> Protocol:
+def iiad(b: Ratio = 1.0, packet_size: Bytes = 1000) -> Protocol:
     """IIAD: inverse-increase additive-decrease binomial."""
     return Protocol(
         name="IIAD",
@@ -153,7 +154,7 @@ def iiad(b: float = 1.0, packet_size: int = 1000) -> Protocol:
     )
 
 
-def rap(gamma: float = 2.0, packet_size: int = 1000) -> Protocol:
+def rap(gamma: float = 2.0, packet_size: Bytes = 1000) -> Protocol:
     """RAP(1/gamma): rate-based AIMD, no self-clocking."""
     b = 1.0 / gamma
     return Protocol(
@@ -169,7 +170,7 @@ def tfrc(
     k: int = 6,
     conservative: bool = False,
     history_discounting: bool = True,
-    packet_size: int = 1000,
+    packet_size: Bytes = 1000,
 ) -> Protocol:
     """TFRC(k), optionally with the paper's self-clocking (conservative_)."""
     suffix = "+SC" if conservative else ""
@@ -194,7 +195,7 @@ def tfrc(
     )
 
 
-def tear(epochs: int = 8, packet_size: int = 1000) -> Protocol:
+def tear(epochs: int = 8, packet_size: Bytes = 1000) -> Protocol:
     """TEAR: receiver-based TCP emulation (extension; not in the figures)."""
     return Protocol(
         name=f"TEAR({epochs})",

@@ -42,6 +42,7 @@ from repro.telemetry.series import TimeSeries
 from repro.traffic.bulk import Flow, add_flows
 from repro.traffic.cbr import CbrSink, CbrSource, on_off_schedule, square_wave
 from repro.traffic.flash_crowd import FlashCrowd
+from repro.units import BitsPerSecond, Bytes, Seconds
 
 __all__ = [
     "CbrRestartConfig",
@@ -67,11 +68,11 @@ __all__ = [
 
 
 def _build_net(
-    bandwidth_bps: float,
-    rtt_s: float,
+    bandwidth_bps: BitsPerSecond,
+    rtt_s: Seconds,
     seed: int,
     reverse_flows: int,
-    packet_size: int = 1000,
+    packet_size: Bytes = 1000,
 ) -> tuple[Simulator, Dumbbell]:
     """Dumbbell plus the paper's bidirectional background TCP traffic."""
     sim = Simulator()
@@ -97,7 +98,7 @@ def _build_net(
 
 
 def _attach_cbr(
-    sim: Simulator, net: Dumbbell, rate_bps: float
+    sim: Simulator, net: Dumbbell, rate_bps: BitsPerSecond
 ) -> tuple[CbrSource, int]:
     source = CbrSource(sim, rate_bps=rate_bps)
     sink = CbrSink(sim)

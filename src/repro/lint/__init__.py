@@ -19,14 +19,34 @@ H001  content-hash stability: canonical JSON, no builtin ``hash()``,
 R001  experiment-registry consistency (modules ↔ tables ↔ scenarios)
 E001  no blind ``except`` on worker execution paths without a
       ``# simlint: disable=E001(reason)`` justification
+U001  incompatible units added, subtracted, compared, assigned or
+      returned (whole-program unit inference over ``net``/``cc``/
+      ``metrics``/``telemetry``; see :mod:`repro.units`)
+U002  bits and bytes mixed in one product without the factor-8
+      conversion
+U003  call argument unit conflicts with the parameter's declared unit
+U004  a name's unit suffix (``_s``, ``_bps``, ...) contradicts its
+      annotation
+F001  file I/O or process-state reads reachable from a ``@scenario``
+      runner, ``jobs()`` or ``reduce()`` (cache-key purity)
+F002  module-global mutation reachable from the same entry points
 ====  ====================================================================
 
-Run ``python -m repro.lint src tests``; see ``docs/linting.md``.
+The U- and F-families are whole-program analyses (symbol tables, unit
+dataflow, call-graph reachability) built once per run and shared through
+:class:`~repro.lint.engine.LintContext`; the earlier families are
+single-pass AST pattern rules.
+
+Run ``python -m repro.lint src tests``; ``--format sarif`` emits SARIF
+2.1.0 for CI upload, ``--baseline FILE`` adopts a rule incrementally.
+See ``docs/linting.md`` and ``docs/units.md``.
 """
 
 import repro.lint.rules  # noqa: F401  (importing registers every rule)
+from repro.lint.baseline import Baseline, fingerprint
 from repro.lint.cli import main
 from repro.lint.engine import (
+    LintContext,
     LintReport,
     SourceFile,
     lint_paths,
@@ -35,21 +55,27 @@ from repro.lint.engine import (
 )
 from repro.lint.findings import JSON_SCHEMA_VERSION, Finding
 from repro.lint.registry import RULES, all_codes, resolve_codes
+from repro.lint.sarif import to_sarif, validate_sarif
 from repro.lint.suppress import Suppression, SuppressionIndex, parse_suppressions
 
 __all__ = [
+    "Baseline",
     "Finding",
     "JSON_SCHEMA_VERSION",
+    "LintContext",
     "LintReport",
     "RULES",
     "SourceFile",
     "Suppression",
     "SuppressionIndex",
     "all_codes",
+    "fingerprint",
     "lint_paths",
     "lint_sources",
     "main",
     "parse_suppressions",
     "resolve_codes",
+    "to_sarif",
+    "validate_sarif",
     "walk_paths",
 ]

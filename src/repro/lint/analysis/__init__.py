@@ -1,0 +1,48 @@
+"""Whole-program analysis layer behind simlint's U- and F-rule families.
+
+PR 3's rules are single-pass AST pattern matchers: they look at one node
+at a time and need no idea what a name refers to.  The units-of-measure
+rules (U001-U004) and the cache-purity rules (F001-F002) cannot work
+that way — "this expression is in bits/s" and "this scenario runner
+reaches file I/O three calls down" are *whole-program* facts.  This
+package supplies the shared machinery:
+
+* :mod:`repro.lint.analysis.symbols` — per-module symbol tables (imports,
+  functions, classes, module-level bindings) plus cross-module name
+  resolution over the set of files being linted;
+* :mod:`repro.lint.analysis.dataflow` — a lightweight intraprocedural
+  forward walker over assignments, calls and returns, in source order;
+* :mod:`repro.lint.analysis.unitcheck` — unit inference and mismatch
+  detection over the :class:`repro.units.Unit` algebra;
+* :mod:`repro.lint.analysis.purity` — interprocedural reachability from
+  cache-relevant entry points (``@scenario`` runners, ``jobs()``,
+  ``reduce()``) to impure operations.
+
+Analyses are built once per lint run and shared between rules through
+the engine's :class:`repro.lint.engine.LintContext`.
+"""
+
+from repro.lint.analysis.dataflow import DataflowWalker, iter_scope_statements
+from repro.lint.analysis.purity import PurityAnalysis, analyze_purity
+from repro.lint.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleTable,
+    Program,
+    build_program,
+)
+from repro.lint.analysis.unitcheck import UnitEvent, analyze_units
+
+__all__ = [
+    "ClassInfo",
+    "DataflowWalker",
+    "FunctionInfo",
+    "ModuleTable",
+    "Program",
+    "PurityAnalysis",
+    "UnitEvent",
+    "analyze_purity",
+    "analyze_units",
+    "build_program",
+    "iter_scope_statements",
+]

@@ -1,0 +1,135 @@
+"""A lightweight intraprocedural dataflow walker.
+
+The analyses need to see one function body the way the interpreter does:
+statements in source order, assignments binding names, calls and returns
+as the interesting events — without descending into nested ``def``/
+``class`` scopes (those are separate analysis subjects).  The walker is
+deliberately flow-*insensitive* about joins: an ``if``/``else`` pair is
+walked in source order and a rebinding simply overwrites, which is the
+standard lightweight compromise (same one D003's set inference makes).
+It trades a sliver of precision for never diverging and never needing a
+fixpoint loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Union
+
+__all__ = ["DataflowWalker", "iter_scope_statements"]
+
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def iter_scope_statements(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Yield the statements of one scope in source order.
+
+    Descends into control-flow bodies (``if``/``for``/``while``/``with``/
+    ``try``/``match``) but not into nested function or class definitions
+    — the nested ``def`` statement itself is yielded (so a walker can
+    note the binding) without its body.
+    """
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for field_name in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, field_name, None)
+            if inner:
+                yield from iter_scope_statements(inner)
+        for handler in getattr(stmt, "handlers", ()):
+            yield from iter_scope_statements(handler.body)
+        for case in getattr(stmt, "cases", ()):
+            yield from iter_scope_statements(case.body)
+
+
+class DataflowWalker:
+    """Forward walk over one scope, dispatching the events analyses need.
+
+    Subclass and override any of the ``on_*`` hooks:
+
+    * :meth:`on_assign` — ``x = expr`` / ``x: T = expr`` (one call per
+      target; tuple targets are unpacked into per-name events with a
+      ``None`` value, since element-wise inference is out of scope);
+    * :meth:`on_aug_assign` — ``x += expr``;
+    * :meth:`on_return` — ``return expr``;
+    * :meth:`on_call` — every call expression in the scope;
+    * :meth:`on_statement` — every statement, before specific dispatch.
+
+    ``walk`` visits statements in source order via
+    :func:`iter_scope_statements`; expression-level events (calls) are
+    found by walking each statement's expressions, again skipping nested
+    ``def``/``class`` bodies.
+    """
+
+    def walk(self, scope: ScopeNode) -> None:
+        for stmt in iter_scope_statements(list(scope.body)):
+            self.on_statement(stmt)
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    self._dispatch_assign(target, stmt.value, stmt)
+            elif isinstance(stmt, ast.AnnAssign):
+                self._dispatch_assign(stmt.target, stmt.value, stmt)
+            elif isinstance(stmt, ast.AugAssign):
+                self.on_aug_assign(stmt.target, stmt.op, stmt.value, stmt)
+            elif isinstance(stmt, ast.Return):
+                self.on_return(stmt.value, stmt)
+            for call in self._calls_in(stmt):
+                self.on_call(call)
+
+    def _dispatch_assign(
+        self, target: ast.expr, value: Optional[ast.expr], stmt: ast.stmt
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._dispatch_assign(element, None, stmt)
+        else:
+            self.on_assign(target, value, stmt)
+
+    def _calls_in(self, stmt: ast.stmt) -> Iterator[ast.Call]:
+        """Call expressions directly inside one statement.
+
+        Nested statements are visited by :func:`iter_scope_statements`
+        already, so only this statement's *expression* children are
+        scanned here — stopping at nested scopes and at nested
+        statements (which get their own visit).
+        """
+        stack: list[ast.AST] = [
+            child
+            for child in ast.iter_child_nodes(stmt)
+            if not isinstance(child, ast.stmt)
+        ]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(
+                child
+                for child in ast.iter_child_nodes(node)
+                if not isinstance(child, ast.stmt)
+            )
+
+    # -- hooks ---------------------------------------------------------------
+
+    def on_statement(self, stmt: ast.stmt) -> None:
+        """Called for every statement in the scope, in source order."""
+
+    def on_assign(
+        self, target: ast.expr, value: Optional[ast.expr], stmt: ast.stmt
+    ) -> None:
+        """Called per assignment target (Name/Attribute/Subscript)."""
+
+    def on_aug_assign(
+        self, target: ast.expr, op: ast.operator, value: ast.expr, stmt: ast.stmt
+    ) -> None:
+        """Called for augmented assignments (``+=`` and friends)."""
+
+    def on_return(self, value: Optional[ast.expr], stmt: ast.stmt) -> None:
+        """Called for return statements."""
+
+    def on_call(self, call: ast.Call) -> None:
+        """Called for every call expression in the scope."""

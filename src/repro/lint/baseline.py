@@ -1,0 +1,131 @@
+"""Finding baselines: adopt the analyzer on a codebase with history.
+
+Whole-program rule families (units, purity) are designed to be clean on
+this repository, but downstream users — and future rule generations —
+need a way to turn a new rule on without first fixing every historical
+finding.  A baseline file records the *accepted* findings; a lint run
+with ``--baseline FILE`` suppresses exactly those and fails only on new
+ones.
+
+Identity is content-based, not line-based: a finding's fingerprint is
+the SHA-256 of ``rule|path|message``, so reformatting or adding imports
+above a baselined finding does not resurrect it.  Identical findings in
+one file (same rule, same message) are occurrence-counted — a baseline
+with two entries for a fingerprint admits two findings, and a third is
+reported as new.
+
+Baselines are expected to shrink: entries whose findings no longer occur
+are *stale* and reported (on stderr and in the JSON/SARIF payloads) so
+they get pruned, but they never fail the run — fixing code must not
+break lint.  ``--write-baseline`` regenerates the file from the current
+findings, which is both how a baseline is born and how it is pruned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BASELINE_SCHEMA_VERSION", "fingerprint"]
+
+#: Bump when the baseline file layout changes shape.
+BASELINE_SCHEMA_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Content fingerprint of one finding (line/column excluded)."""
+    text = "|".join((finding.rule, finding.path, finding.message))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, occurrence-counted by content fingerprint."""
+
+    #: fingerprint -> number of admitted occurrences.
+    counts: dict[str, int] = field(default_factory=dict)
+    #: fingerprint -> human description (for stale reporting).
+    descriptions: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fp = fingerprint(finding)
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + 1
+            baseline.descriptions.setdefault(
+                fp, f"{finding.path}: {finding.rule} {finding.message}"
+            )
+        return baseline
+
+    @classmethod
+    def load(cls, path: "str | pathlib.Path") -> "Baseline":
+        """Read a baseline file; malformed content raises ``ValueError``."""
+        try:
+            payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path}: not valid JSON ({exc})") from None
+        if not isinstance(payload, dict) or "fingerprints" not in payload:
+            raise ValueError(
+                f"baseline {path}: expected an object with a 'fingerprints' key"
+            )
+        baseline = cls()
+        entries = payload["fingerprints"]
+        if not isinstance(entries, dict):
+            raise ValueError(f"baseline {path}: 'fingerprints' must be an object")
+        for fp, entry in entries.items():
+            if isinstance(entry, dict):
+                count = int(entry.get("count", 1))
+                description = str(entry.get("description", ""))
+            else:
+                count = int(entry)
+                description = ""
+            baseline.counts[fp] = count
+            baseline.descriptions[fp] = description
+        return baseline
+
+    def dump(self, path: "str | pathlib.Path") -> None:
+        payload = {
+            "version": BASELINE_SCHEMA_VERSION,
+            "fingerprints": {
+                fp: {
+                    "count": self.counts[fp],
+                    "description": self.descriptions.get(fp, ""),
+                }
+                for fp in sorted(self.counts)
+            },
+        }
+        pathlib.Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], int, list[str]]:
+        """Split findings into (kept, baselined_count, stale_descriptions).
+
+        Consumes each fingerprint's allowance in finding order; findings
+        beyond the allowance are kept (they are *new*).  Entries with
+        unconsumed allowance are stale.
+        """
+        remaining = dict(self.counts)
+        kept: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            fp = fingerprint(finding)
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                baselined += 1
+            else:
+                kept.append(finding)
+        stale = [
+            self.descriptions.get(fp) or fp
+            for fp in sorted(remaining)
+            if remaining[fp] > 0
+        ]
+        return kept, baselined, stale

@@ -3,14 +3,20 @@
 Usage::
 
     python -m repro.lint src tests            # lint, human output
-    python -m repro.lint src --json           # machine-readable report
-    python -m repro.lint src --select D001,D002
+    python -m repro.lint src --format json    # machine-readable report
+    python -m repro.lint src --format sarif   # SARIF 2.1.0 (CI upload)
+    python -m repro.lint src --select U001,U002
     python -m repro.lint src --ignore E001
+    python -m repro.lint src --baseline lint-baseline.json
+    python -m repro.lint src --write-baseline lint-baseline.json
     python -m repro.lint --list-rules
 
 Exit status: 0 clean, 1 findings, 2 usage error.  Inline suppressions
 use ``# simlint: disable=CODE`` (``CODE(reason)`` where a justification
-is required — see ``docs/linting.md``).
+is required — see ``docs/linting.md``).  ``--baseline`` suppresses the
+findings recorded in the given file (by content fingerprint) so new
+rules can be adopted incrementally; ``--write-baseline`` records the
+current findings and exits 0.
 """
 
 from __future__ import annotations
@@ -21,8 +27,10 @@ import sys
 from typing import Optional, Sequence
 
 import repro.lint.rules  # noqa: F401  (register every rule)
+from repro.lint.baseline import Baseline
 from repro.lint.engine import lint_paths
 from repro.lint.registry import RULES, resolve_codes
+from repro.lint.sarif import to_sarif
 
 __all__ = ["main"]
 
@@ -42,7 +50,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="Simulator-aware static analysis: determinism, "
-        "picklability, hash stability and registry consistency.",
+        "picklability, hash stability, registry consistency, units of "
+        "measure and cache purity.",
     )
     parser.add_argument(
         "paths",
@@ -61,10 +70,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="format",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
         "--json",
-        action="store_true",
-        dest="as_json",
-        help="emit a machine-readable JSON report on stdout",
+        action="store_const",
+        const="json",
+        dest="format",
+        help="alias for --format json",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress the findings recorded in FILE (content "
+        "fingerprints); stale entries are reported but never fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings into FILE and exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -84,14 +112,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
 
+    baseline: Optional[Baseline] = None
+    if args.baseline is not None and args.write_baseline is None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro.lint: {exc}", file=sys.stderr)
+            return 2
+
     try:
-        report = lint_paths(args.paths, select=select, ignore=ignore)
+        report = lint_paths(args.paths, select=select, ignore=ignore, baseline=baseline)
     except FileNotFoundError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
 
-    if args.as_json:
+    if args.write_baseline is not None:
+        Baseline.from_findings(report.findings).dump(args.write_baseline)
+        print(
+            f"simlint: wrote {len(report.findings)} finding(s) to "
+            f"baseline {args.write_baseline}"
+        )
+        return 0
+
+    for stale in report.stale_baseline:
+        print(f"repro.lint: stale baseline entry: {stale}", file=sys.stderr)
+
+    if args.format == "json":
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(report, RULES), indent=2, sort_keys=True))
         return 0 if report.ok else 1
 
     for finding in report.findings:
@@ -104,9 +154,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     suppressed = (
         f", {report.suppressed} suppressed" if report.suppressed else ""
     )
+    baselined = (
+        f", {report.baselined} baselined" if report.baselined else ""
+    )
     print(
         f"simlint: {summary} in {report.files_checked} file(s)"
-        f"{suppressed}"
+        f"{suppressed}{baselined}"
     )
     return 0 if report.ok else 1
 

@@ -3,9 +3,15 @@
 The engine owns everything rule-agnostic: walking paths to ``.py``
 files, parsing each into a :class:`SourceFile` (AST + raw text +
 suppression index), running per-file and project rules, and filtering
-findings through the inline-suppression index.  Rules never see the
-suppression machinery — they report everything, and the engine decides
-what the developer has justified away.
+findings through the inline-suppression index and the optional
+baseline.  Rules never see the suppression machinery — they report
+everything, and the engine decides what the developer has justified
+away.
+
+Project rules share one :class:`LintContext` per run: the whole-program
+analyses (symbol tables, unit events, purity reachability) are built
+lazily on first request and cached there, so the four U-rules and two
+F-rules together cost one analysis pass, not six.
 
 Two entry points matter to callers:
 
@@ -21,13 +27,20 @@ import ast
 import os
 import pathlib
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.lint.findings import Finding
 from repro.lint.registry import RULES, Rule
 from repro.lint.suppress import SuppressionIndex, parse_suppressions
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.analysis.purity import PurityAnalysis
+    from repro.lint.analysis.symbols import Program
+    from repro.lint.analysis.unitcheck import UnitEvent
+    from repro.lint.baseline import Baseline
+
 __all__ = [
+    "LintContext",
     "LintReport",
     "SourceFile",
     "lint_paths",
@@ -88,6 +101,49 @@ class SourceFile:
         return pathlib.PurePosixPath(self.path).stem
 
 
+class LintContext:
+    """Per-run shared state for project rules.
+
+    Whole-program analyses are expensive (symbol tables over every file,
+    unit inference, call-graph reachability); the engine builds one
+    context per run and hands it to every project rule, which memoizes
+    each analysis on first use.
+    """
+
+    def __init__(self, files: Sequence["SourceFile"]):
+        self.files = list(files)
+        self._program: Optional["Program"] = None
+        self._unit_events: dict[tuple[str, ...], list["UnitEvent"]] = {}
+        self._purity: Optional["PurityAnalysis"] = None
+
+    @property
+    def program(self) -> "Program":
+        """The whole-program symbol index, built once."""
+        if self._program is None:
+            from repro.lint.analysis.symbols import build_program
+
+            self._program = build_program(self.files)
+        return self._program
+
+    def unit_events(self, scope: Sequence[str]) -> list["UnitEvent"]:
+        """Unit-mismatch events for files inside ``scope`` packages."""
+        key = tuple(scope)
+        if key not in self._unit_events:
+            from repro.lint.analysis.unitcheck import analyze_units
+
+            self._unit_events[key] = analyze_units(self.program, self.files, key)
+        return self._unit_events[key]
+
+    @property
+    def purity(self) -> "PurityAnalysis":
+        """Cache-purity reachability, built once."""
+        if self._purity is None:
+            from repro.lint.analysis.purity import analyze_purity
+
+            self._purity = analyze_purity(self.program, self.files)
+        return self._purity
+
+
 @dataclass
 class LintReport:
     """Everything one lint run produced."""
@@ -95,6 +151,10 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Findings absorbed by the ``--baseline`` file, if one was given.
+    baselined: int = 0
+    #: Human descriptions of baseline entries nothing matched anymore.
+    stale_baseline: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -114,6 +174,8 @@ class LintReport:
             "ok": self.ok,
             "files_checked": self.files_checked,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline": list(self.stale_baseline),
             "counts": self.counts(),
             "findings": [f.as_dict() for f in self.findings],
         }
@@ -183,6 +245,7 @@ def lint_files(
     files: Sequence[SourceFile],
     select: "set[str] | None" = None,
     ignore: "set[str] | None" = None,
+    baseline: "Baseline | None" = None,
 ) -> LintReport:
     """Run the active rules over parsed files and filter suppressions."""
     report = LintReport(files_checked=len(files))
@@ -202,10 +265,11 @@ def lint_files(
             for finding in r.check_file(src):
                 raw.append((r, finding))
     parseable = [src for src in files if src.parse_error is None]
+    context = LintContext(parseable)
     for r in rules:
         if not r.project:
             continue
-        for finding in r.check_project(parseable):
+        for finding in r.check_project(parseable, context):
             raw.append((r, finding))
 
     for r, finding in raw:
@@ -213,6 +277,11 @@ def lint_files(
         if kept is not None:
             report.findings.append(kept)
     report.findings.sort(key=Finding.sort_key)
+    if baseline is not None:
+        kept_findings, baselined, stale = baseline.apply(report.findings)
+        report.findings = kept_findings
+        report.baselined = baselined
+        report.stale_baseline = stale
     return report
 
 
@@ -220,6 +289,7 @@ def lint_sources(
     sources: Mapping[str, str],
     select: "set[str] | None" = None,
     ignore: "set[str] | None" = None,
+    baseline: "Baseline | None" = None,
 ) -> LintReport:
     """Lint in-memory ``{virtual_path: source_text}`` modules.
 
@@ -228,14 +298,15 @@ def lint_sources(
     real ``repro.net`` package.
     """
     files = [SourceFile.from_text(text, path) for path, text in sources.items()]
-    return lint_files(files, select=select, ignore=ignore)
+    return lint_files(files, select=select, ignore=ignore, baseline=baseline)
 
 
 def lint_paths(
     paths: Sequence["str | os.PathLike[str]"],
     select: "set[str] | None" = None,
     ignore: "set[str] | None" = None,
+    baseline: "Baseline | None" = None,
 ) -> LintReport:
     """Lint files and directory trees on disk."""
     files = [SourceFile.from_disk(p) for p in walk_paths(paths)]
-    return lint_files(files, select=select, ignore=ignore)
+    return lint_files(files, select=select, ignore=ignore, baseline=baseline)

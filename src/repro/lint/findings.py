@@ -14,7 +14,8 @@ from typing import Any
 __all__ = ["Finding", "JSON_SCHEMA_VERSION"]
 
 #: Bump when the ``--json`` report layout changes shape.
-JSON_SCHEMA_VERSION = 1
+#: v2: added ``baselined`` and ``stale_baseline`` to the report payload.
+JSON_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -5,8 +5,10 @@ from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     exceptions,
     hashing,
     picklability,
+    purity,
     registry_consistency,
     telemetry,
+    units,
 )
 
 __all__ = [
@@ -14,6 +16,8 @@ __all__ = [
     "exceptions",
     "hashing",
     "picklability",
+    "purity",
     "registry_consistency",
     "telemetry",
+    "units",
 ]

@@ -1,0 +1,81 @@
+"""F001-F002: cache purity of the experiment execution paths.
+
+The content-addressed result cache assumes a job's payload is a pure
+function of the :class:`~repro.experiments.jobs.Job`.  Anything else a
+runner consults — a file, an environment variable, mutable module state
+— is invisible to the cache key, so a cached replay can silently
+diverge from a fresh run.  These rules walk the call graph (see
+:mod:`repro.lint.analysis.purity`) from every cache-relevant entry
+point — ``@scenario``-decorated runners plus the module-level ``jobs()``
+and ``reduce()`` functions of the figure modules — and flag each impure
+operation that is reachable, naming the call chain that reaches it:
+
+====  ==================================================================
+F001  file I/O or process-state reads reachable from a cache-relevant
+      entry point (``open()``, pathlib read/write methods,
+      ``os.environ``, ``sys.argv``)
+F002  module-global mutation reachable from a cache-relevant entry
+      point (``global`` rebinding, stores into or mutating calls on a
+      module-level container)
+====  ==================================================================
+
+Calls that do not resolve inside the linted files (stdlib, third-party,
+dynamic dispatch) are assumed pure, and *reads* of module globals are
+allowed (registries are immutable-by-convention configuration) — the
+analysis under-reports rather than flooding real findings with noise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.lint.engine import LintContext, SourceFile
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, rule
+
+__all__ = ["CacheIoPurityRule", "CacheGlobalPurityRule"]
+
+
+class _PurityRule(Rule):
+    """Shared plumbing: pull this rule's event kinds from the context."""
+
+    kinds: tuple[str, ...] = ()
+    project = True
+    requires_reason = True
+
+    def check_project(
+        self, files: Sequence[SourceFile], context: LintContext
+    ) -> Iterator[Finding]:
+        by_path = {src.path: src for src in files}
+        for event in context.purity.events:
+            if event.kind not in self.kinds:
+                continue
+            src = by_path.get(event.path)
+            if src is None:
+                continue
+            yield self.finding(src, event.node, event.message)
+
+
+@rule
+class CacheIoPurityRule(_PurityRule):
+    """F001: I/O and process-state reads on cached execution paths."""
+
+    code = "F001"
+    kinds = ("io", "env")
+    summary = (
+        "cache purity: file I/O or process-state read (open, pathlib, "
+        "os.environ, sys.argv) reachable from a @scenario runner, "
+        "jobs() or reduce()"
+    )
+
+
+@rule
+class CacheGlobalPurityRule(_PurityRule):
+    """F002: module-global mutation on cached execution paths."""
+
+    code = "F002"
+    kinds = ("global",)
+    summary = (
+        "cache purity: module-global mutation reachable from a "
+        "@scenario runner, jobs() or reduce()"
+    )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.telemetry.measures import FlowMetrics
+from repro.units import BitsPerSecond, Ratio, Seconds
 
 __all__ = [
     "jain_index",
@@ -19,7 +20,7 @@ __all__ = [
 ]
 
 
-def jain_index(rates: Sequence[float]) -> float:
+def jain_index(rates: Sequence[float]) -> Ratio:
     """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]."""
     if not rates:
         raise ValueError("need at least one rate")
@@ -35,9 +36,9 @@ def jain_index(rates: Sequence[float]) -> float:
 def normalized_shares(
     accountant: FlowMetrics,
     flow_ids: Sequence[int],
-    start: float,
-    end: float,
-    fair_share_bps: float,
+    start: Seconds,
+    end: Seconds,
+    fair_share_bps: BitsPerSecond,
 ) -> list[float]:
     """Per-flow throughput normalized by a fair share (1.0 = exactly fair)."""
     if fair_share_bps <= 0:
@@ -52,12 +53,12 @@ def delta_fair_convergence_time(
     accountant: FlowMetrics,
     flow_a: int,
     flow_b: int,
-    start: float,
-    end: float,
-    delta: float = 0.1,
-    window_s: float = 0.5,
+    start: Seconds,
+    end: Seconds,
+    delta: Ratio = 0.1,
+    window_s: Seconds = 0.5,
     sustain_windows: int = 1,
-) -> Optional[float]:
+) -> Optional[Seconds]:
     """Time from ``start`` until the flows share the link δ-fairly.
 
     Throughputs are smoothed over ``window_s``; returns the delay until the

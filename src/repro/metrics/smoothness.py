@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.telemetry.measures import FlowMetrics
+from repro.units import Ratio, Seconds
 
 __all__ = ["SmoothnessResult", "rate_bins", "smoothness", "coefficient_of_variation"]
 
@@ -31,9 +32,9 @@ class SmoothnessResult:
 def rate_bins(
     accountant: FlowMetrics,
     flow_id: int,
-    bin_s: float,
-    start: float,
-    end: float,
+    bin_s: Seconds,
+    start: Seconds,
+    end: Seconds,
 ) -> list[float]:
     """Delivered rate (bps) over consecutive bins of ``bin_s`` seconds."""
     if bin_s <= 0:
@@ -72,7 +73,7 @@ def smoothness(rates: Sequence[float]) -> SmoothnessResult:
     )
 
 
-def coefficient_of_variation(rates: Sequence[float]) -> float:
+def coefficient_of_variation(rates: Sequence[float]) -> Ratio:
     """Std-dev over mean of the rate sequence (0 = perfectly smooth)."""
     if not rates:
         raise ValueError("need at least one rate sample")

@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 
 from repro.telemetry.measures import LinkMetrics
+from repro.units import Ratio, Seconds
 
 __all__ = ["StabilizationResult", "measure_stabilization"]
 
@@ -23,19 +24,19 @@ __all__ = ["StabilizationResult", "measure_stabilization"]
 class StabilizationResult:
     """Outcome of a stabilization measurement."""
 
-    time_s: float
+    time_s: Seconds
     time_rtts: float
-    mean_loss_during: float  # fraction, averaged over the interval
+    mean_loss_during: Ratio  # fraction, averaged over the interval
     cost: float  # time_rtts * mean loss in percent... see the paper
     stabilized: bool  # False if the loss rate never came down in the run
 
 
 def measure_stabilization(
     monitor: LinkMetrics,
-    congestion_start: float,
-    steady_loss_rate: float,
-    rtt_s: float,
-    end: float,
+    congestion_start: Seconds,
+    steady_loss_rate: Ratio,
+    rtt_s: Seconds,
+    end: Seconds,
     threshold: float = 1.5,
     window_rtts: int = 10,
 ) -> StabilizationResult:

@@ -11,16 +11,17 @@ from typing import Sequence
 
 from repro.telemetry.measures import FlowMetrics, LinkMetrics
 from repro.sim.tracing import TimeSeries
+from repro.units import BitsPerSecond, Ratio, Seconds
 
 __all__ = ["f_of_k", "flows_f_of_k", "utilization_series"]
 
 
 def f_of_k(
     monitor: LinkMetrics,
-    event_time: float,
+    event_time: Seconds,
     k: int,
-    rtt_s: float,
-) -> float:
+    rtt_s: Seconds,
+) -> Ratio:
     """Link utilization over the first k RTTs after ``event_time``."""
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -33,10 +34,10 @@ def flows_f_of_k(
     accountant: FlowMetrics,
     flow_ids: Sequence[int],
     available_bps: float,
-    event_time: float,
+    event_time: Seconds,
     k: int,
-    rtt_s: float,
-) -> float:
+    rtt_s: Seconds,
+) -> Ratio:
     """f(k) measured from specific flows' deliveries against ``available_bps``.
 
     Used when other traffic shares the link and raw link utilization would
@@ -53,7 +54,7 @@ def flows_f_of_k(
 
 
 def utilization_series(
-    monitor: LinkMetrics, window_s: float, start: float, end: float
+    monitor: LinkMetrics, window_s: Seconds, start: Seconds, end: Seconds
 ) -> TimeSeries:
     """Windowed link utilization samples over [start, end)."""
     series = TimeSeries("utilization")

@@ -19,6 +19,7 @@ from typing import Callable, Optional, Sequence
 from repro.net.packet import Packet
 from repro.sim.rng import deterministic_default_rng
 from repro.telemetry.probes import CounterProbe
+from repro.units import Ratio, Seconds
 
 __all__ = [
     "Dropper",
@@ -110,7 +111,7 @@ class PhaseDropper(Dropper):
 
     def __init__(
         self,
-        phases: Sequence[tuple[float, int]],
+        phases: Sequence[tuple[Seconds, int]],
         clock: Callable[[], float],
     ):
         super().__init__(clock)
@@ -175,9 +176,9 @@ class TimedDropper(Dropper):
 
     def __init__(
         self,
-        interval_s: float,
+        interval_s: Seconds,
         clock: Callable[[], float],
-        start_at: float = 0.0,
+        start_at: Seconds = 0.0,
     ):
         super().__init__(clock)
         if interval_s <= 0:
@@ -200,7 +201,7 @@ class BernoulliDropper(Dropper):
 
     def __init__(
         self,
-        p: float,
+        p: Ratio,
         rng: Optional[random.Random] = None,
         clock: Optional[Callable[[], float]] = None,
     ):

@@ -22,6 +22,7 @@ from repro.net.red import red_for_bdp
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.telemetry import active_recorder
+from repro.units import BitsPerSecond, Bytes, Packets, Seconds
 
 __all__ = ["Dumbbell", "HostPair"]
 
@@ -66,9 +67,9 @@ class Dumbbell:
     def __init__(
         self,
         sim: Simulator,
-        bandwidth_bps: float,
-        rtt_s: float,
-        packet_size: int = 1000,
+        bandwidth_bps: BitsPerSecond,
+        rtt_s: Seconds,
+        packet_size: Bytes = 1000,
         queue_factory: Optional[Callable[[], QueueDiscipline]] = None,
         access_factor: float = 20.0,
         rng: Optional[RngRegistry] = None,
@@ -179,6 +180,6 @@ class Dumbbell:
         return HostPair(source, destination, forward)
 
     @property
-    def bdp_packets(self) -> float:
+    def bdp_packets(self) -> Packets:
         """Bandwidth-delay product of the bottleneck, in data packets."""
         return self.bandwidth_bps * self.rtt_s / (8.0 * self.packet_size)

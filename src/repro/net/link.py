@@ -14,6 +14,7 @@ from typing import Callable, Optional
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue, QueueDiscipline
 from repro.sim.engine import Simulator
+from repro.units import BitsPerSecond, Bytes, Ratio, Seconds
 
 __all__ = ["Link"]
 
@@ -48,8 +49,8 @@ class Link:
     def __init__(
         self,
         sim: Simulator,
-        bandwidth_bps: float,
-        delay_s: float,
+        bandwidth_bps: BitsPerSecond,
+        delay_s: Seconds,
         queue: Optional[QueueDiscipline] = None,
         name: str = "link",
     ):
@@ -137,7 +138,9 @@ class Link:
         self.sim.call_in(self.delay_s, self._receiver, packet)
         self._start_transmission()
 
-    def utilization(self, start: float, end: float, bytes_in_window: float) -> float:
+    def utilization(
+        self, start: Seconds, end: Seconds, bytes_in_window: Bytes
+    ) -> Ratio:
         """Fraction of capacity used by ``bytes_in_window`` over [start, end)."""
         capacity_bytes = self.bandwidth_bps * (end - start) / 8.0
         return bytes_in_window / capacity_bytes if capacity_bytes > 0 else 0.0

@@ -27,6 +27,7 @@ from repro.telemetry.measures import FlowMetrics, LinkMetrics
 from repro.telemetry.probes import GaugeProbe, SeriesProbe
 from repro.telemetry.recorder import Recorder
 from repro.telemetry.series import TimeSeries
+from repro.units import Seconds
 
 __all__ = ["LinkMonitor", "FlowAccountant"]
 
@@ -80,7 +81,7 @@ class LinkMonitor(LinkMetrics):
         self._departed_bytes += packet.size
         self.departures.record(self.sim.now, self._departed_bytes)
 
-    def sample_queue(self, period_s: Optional[float] = None) -> TimeSeries:
+    def sample_queue(self, period_s: Optional[Seconds] = None) -> TimeSeries:
         """Start periodic queue-occupancy sampling; returns the series.
 
         The series records (time, packets queued) every ``period_s``

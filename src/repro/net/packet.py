@@ -11,6 +11,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Optional
 
+from repro.units import Bytes, Seconds
+
 __all__ = ["Packet", "DATA", "ACK", "FEEDBACK"]
 
 DATA = "data"
@@ -70,12 +72,12 @@ class Packet:
         flow_id: int,
         kind: str,
         seq: int,
-        size: int,
+        size: Bytes,
         src: int,
         dst: int,
-        sent_at: float = 0.0,
+        sent_at: Seconds = 0.0,
         ack_seq: int = -1,
-        echo: float = -1.0,
+        echo: Seconds = -1.0,
         info: Optional[Any] = None,
         ect: bool = False,
     ):

@@ -25,6 +25,7 @@ from repro.net.red import red_for_bdp
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.telemetry import active_recorder
+from repro.units import BitsPerSecond, Bytes, Seconds
 
 __all__ = ["ParkingLot"]
 
@@ -41,9 +42,9 @@ class ParkingLot:
         self,
         sim: Simulator,
         hops: int,
-        bandwidth_bps: float,
-        rtt_s: float,
-        packet_size: int = 1000,
+        bandwidth_bps: BitsPerSecond,
+        rtt_s: Seconds,
+        packet_size: Bytes = 1000,
         queue_factory: Optional[Callable[[], QueueDiscipline]] = None,
         access_factor: float = 20.0,
         rng: Optional[RngRegistry] = None,

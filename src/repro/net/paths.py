@@ -15,6 +15,7 @@ from repro.net.link import Link
 from repro.net.node import Node
 from repro.net.queue import DropTailQueue
 from repro.sim.engine import Simulator
+from repro.units import BitsPerSecond, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.cc.base import Receiver, Sender
@@ -26,8 +27,8 @@ def single_path(
     sim: Simulator,
     sender: "Sender",
     receiver: "Receiver",
-    rtt_s: float = 0.05,
-    bandwidth_bps: float = 1e7,
+    rtt_s: Seconds = 0.05,
+    bandwidth_bps: BitsPerSecond = 1e7,
     dropper: Optional[Dropper] = None,
     queue_pkts: int = 100_000,
     flow_id: int = 0,

@@ -17,6 +17,7 @@ from typing import Callable, Optional, Protocol
 
 from repro.net.packet import Packet
 from repro.telemetry.probes import CounterProbe
+from repro.units import Bytes
 
 __all__ = ["QueueDiscipline", "DropTailQueue", "DropObserver", "QueueProbes"]
 
@@ -81,7 +82,8 @@ class QueueDiscipline:
         return len(self._buffer)
 
     @property
-    def byte_length(self) -> int:
+    def byte_length(self) -> Bytes:
+        """Bytes waiting in the buffer (excluding the packet in service)."""
         return self._bytes
 
     def admit(self, packet: Packet) -> bool:

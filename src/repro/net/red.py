@@ -19,6 +19,7 @@ from typing import Optional
 from repro.net.packet import Packet
 from repro.net.queue import QueueDiscipline
 from repro.sim.rng import deterministic_default_rng
+from repro.units import BitsPerSecond, Bytes, Packets, Ratio, Seconds
 
 __all__ = ["REDQueue", "red_for_bdp"]
 
@@ -53,14 +54,14 @@ class REDQueue(QueueDiscipline):
     def __init__(
         self,
         capacity_pkts: int,
-        min_thresh: float,
-        max_thresh: float,
-        max_p: float = 0.1,
+        min_thresh: Packets,
+        max_thresh: Packets,
+        max_p: Ratio = 0.1,
         weight: float = 0.002,
         gentle: bool = True,
         rng: Optional[random.Random] = None,
-        mean_packet_size: int = 1000,
-        bandwidth_bps: float = 10e6,
+        mean_packet_size: Bytes = 1000,
+        bandwidth_bps: BitsPerSecond = 10e6,
         ecn_marking: bool = False,
     ):
         super().__init__(capacity_pkts)
@@ -165,12 +166,12 @@ class REDQueue(QueueDiscipline):
 
 
 def red_for_bdp(
-    bandwidth_bps: float,
-    rtt_s: float,
-    packet_size: int = 1000,
-    queue_bdp: float = 2.5,
-    min_thresh_bdp: float = 0.25,
-    max_thresh_bdp: float = 1.25,
+    bandwidth_bps: BitsPerSecond,
+    rtt_s: Seconds,
+    packet_size: Bytes = 1000,
+    queue_bdp: Ratio = 2.5,
+    min_thresh_bdp: Ratio = 0.25,
+    max_thresh_bdp: Ratio = 1.25,
     rng: Optional[random.Random] = None,
     ecn_marking: bool = False,
 ) -> REDQueue:

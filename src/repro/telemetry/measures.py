@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 from repro.telemetry.probes import CounterProbe, GaugeProbe, SeriesProbe
 from repro.telemetry.series import TimeSeries
+from repro.units import BitsPerSecond, Bytes, Ratio, Seconds
 
 __all__ = ["LinkMetrics", "FlowMetrics"]
 
@@ -27,7 +28,9 @@ class LinkMetrics:
     All windowed counts use the half-open convention ``[start, end)``.
     """
 
-    def __init__(self, name: str = "link", bandwidth_bps: Optional[float] = None):
+    def __init__(
+        self, name: str = "link", bandwidth_bps: Optional[BitsPerSecond] = None
+    ):
         self.name = name
         self.bandwidth_bps = bandwidth_bps
         self.arrivals = CounterProbe("arrivals")
@@ -52,23 +55,23 @@ class LinkMetrics:
 
     # Derived measurements ----------------------------------------------------
 
-    def arrivals_in(self, start: float, end: float) -> int:
+    def arrivals_in(self, start: Seconds, end: Seconds) -> int:
         return self.arrivals.count_in(start, end)
 
-    def drops_in(self, start: float, end: float) -> int:
+    def drops_in(self, start: Seconds, end: Seconds) -> int:
         return self.drops.count_in(start, end)
 
-    def marks_in(self, start: float, end: float) -> int:
+    def marks_in(self, start: Seconds, end: Seconds) -> int:
         return self.marks.count_in(start, end)
 
-    def mark_rate(self, start: float, end: float) -> float:
+    def mark_rate(self, start: Seconds, end: Seconds) -> Ratio:
         """Fraction of arrivals CE-marked over [start, end); NaN if idle."""
         arrivals = self.arrivals_in(start, end)
         if arrivals == 0:
             return math.nan
         return self.marks_in(start, end) / arrivals
 
-    def loss_rate(self, start: float, end: float) -> float:
+    def loss_rate(self, start: Seconds, end: Seconds) -> Ratio:
         """Fraction of arrivals dropped over [start, end); NaN if idle."""
         arrivals = self.arrivals_in(start, end)
         if arrivals == 0:
@@ -76,7 +79,11 @@ class LinkMetrics:
         return self.drops_in(start, end) / arrivals
 
     def loss_rate_series(
-        self, window_s: float, start: float, end: float, stride_s: float = 0.0
+        self,
+        window_s: Seconds,
+        start: Seconds,
+        end: Seconds,
+        stride_s: Seconds = 0.0,
     ) -> TimeSeries:
         """Loss rate over a sliding window.
 
@@ -100,14 +107,14 @@ class LinkMetrics:
             i += 1
         return series
 
-    def departed_bytes_in(self, start: float, end: float) -> float:
+    def departed_bytes_in(self, start: Seconds, end: Seconds) -> Bytes:
         def cumulative(t: float) -> float:
             value = self.departures.series.last_before(t)
             return value if value is not None else 0.0
 
         return cumulative(end) - cumulative(start)
 
-    def utilization(self, start: float, end: float) -> float:
+    def utilization(self, start: Seconds, end: Seconds) -> Ratio:
         """Fraction of the link's capacity used over [start, end)."""
         if self.bandwidth_bps is None:
             raise RuntimeError("link bandwidth unknown (monitor not attached?)")
@@ -138,7 +145,7 @@ class FlowMetrics:
     def flows(self) -> list[int]:
         return sorted(self._probes)
 
-    def delivered_bytes(self, flow_id: int, start: float, end: float) -> float:
+    def delivered_bytes(self, flow_id: int, start: Seconds, end: Seconds) -> Bytes:
         probe = self._probes.get(flow_id)
         if probe is None:
             return 0.0
@@ -150,7 +157,9 @@ class FlowMetrics:
 
         return cumulative(end) - cumulative(start)
 
-    def throughput_bps(self, flow_id: int, start: float, end: float) -> float:
+    def throughput_bps(
+        self, flow_id: int, start: Seconds, end: Seconds
+    ) -> BitsPerSecond:
         """Average delivered rate of one flow over [start, end), bits/s."""
         duration = end - start
         if duration <= 0:
@@ -158,7 +167,7 @@ class FlowMetrics:
         return self.delivered_bytes(flow_id, start, end) * 8.0 / duration
 
     def rate_series_bps(
-        self, flow_id: int, window_s: float, start: float, end: float
+        self, flow_id: int, window_s: Seconds, start: Seconds, end: Seconds
     ) -> TimeSeries:
         """Delivered rate sampled over consecutive windows, bits/s.
 

@@ -25,6 +25,7 @@ from array import array
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.telemetry.series import TimeSeries
+from repro.units import Seconds
 
 __all__ = ["Probe", "CounterProbe", "SeriesProbe", "GaugeProbe"]
 
@@ -98,7 +99,7 @@ class CounterProbe(Probe):
             return int(total)
         return total
 
-    def increment(self, time: float, amount: "int | float" = 1) -> None:
+    def increment(self, time: Seconds, amount: "int | float" = 1) -> None:
         if time < self._last_time:
             raise ValueError(
                 f"events must be time-ordered: {time} < {self._last_time}"
@@ -115,7 +116,7 @@ class CounterProbe(Probe):
         self._times.append(time)
         self._totals.append(total)
 
-    def count_in(self, start: float, end: float) -> "int | float":
+    def count_in(self, start: Seconds, end: Seconds) -> "int | float":
         """Total amount incremented over the half-open window [start, end).
 
         Returns an ``int`` only when every increment was integral; a
@@ -166,7 +167,7 @@ class SeriesProbe(Probe):
     def __iter__(self) -> Iterator[tuple[float, float]]:
         return iter(self.series)
 
-    def record(self, time: float, value: float) -> None:
+    def record(self, time: Seconds, value: float) -> None:
         self.series.append(time, value)
 
     def load(self, times: Sequence[float], values: Sequence[float]) -> None:
@@ -191,7 +192,7 @@ class GaugeProbe(SeriesProbe):
         super().__init__(name)
         self.read = read
 
-    def sample(self, time: float) -> float:
+    def sample(self, time: Seconds) -> float:
         if self.read is None:
             raise RuntimeError(f"gauge {self.name!r} has no read() callable")
         value = float(self.read())

@@ -21,6 +21,7 @@ import pathlib
 from typing import Any, Callable, Optional, Union
 
 from repro.telemetry.probes import CounterProbe, GaugeProbe, Probe, SeriesProbe
+from repro.units import Seconds
 
 __all__ = ["Recorder", "TRACE_SCHEMA_VERSION"]
 
@@ -33,7 +34,7 @@ DEFAULT_CADENCE_S = 0.1
 class Recorder:
     """Registry of named telemetry channels for one simulation run."""
 
-    def __init__(self, cadence_s: float = DEFAULT_CADENCE_S):
+    def __init__(self, cadence_s: Seconds = DEFAULT_CADENCE_S):
         self.cadence_s = float(cadence_s)
         self.channels: dict[str, Probe] = {}
         self.meta: dict[str, Any] = {}

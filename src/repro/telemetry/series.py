@@ -23,6 +23,8 @@ import math
 from array import array
 from typing import Iterable, Iterator, Optional, Sequence
 
+from repro.units import Seconds
+
 __all__ = ["TimeSeries", "interval_average", "Counter"]
 
 
@@ -54,7 +56,7 @@ class TimeSeries:
     def values(self) -> Sequence[float]:
         return self._values
 
-    def append(self, time: float, value: float) -> None:
+    def append(self, time: Seconds, value: float) -> None:
         times = self._times
         if times and time < times[-1]:
             raise ValueError(
@@ -95,7 +97,7 @@ class TimeSeries:
         self._times.extend(new_times)
         self._values.extend(new_values)
 
-    def window(self, start: float, end: float) -> "TimeSeries":
+    def window(self, start: Seconds, end: Seconds) -> "TimeSeries":
         """Samples with start <= time < end, as a new series."""
         lo = bisect.bisect_left(self._times, start)
         hi = bisect.bisect_left(self._times, end)
@@ -113,14 +115,14 @@ class TimeSeries:
     def max(self) -> float:
         return max(self._values) if self._values else math.nan
 
-    def last_before(self, time: float) -> Optional[float]:
+    def last_before(self, time: Seconds) -> Optional[float]:
         """Value of the latest sample at or before ``time``."""
         idx = bisect.bisect_right(self._times, time) - 1
         if idx < 0:
             return None
         return self._values[idx]
 
-    def resample(self, period: float, start: float, end: float) -> "TimeSeries":
+    def resample(self, period: Seconds, start: Seconds, end: Seconds) -> "TimeSeries":
         """Step-function resampling at a fixed period (sample-and-hold).
 
         Sample times are computed as ``start + i * period`` by integer
@@ -142,8 +144,8 @@ class TimeSeries:
 
 def interval_average(
     samples: "TimeSeries | Iterable[tuple[float, float]]",
-    start: float,
-    end: float,
+    start: Seconds,
+    end: Seconds,
 ) -> float:
     """Average value of samples with start <= t < end; NaN when none.
 
@@ -186,14 +188,14 @@ class Counter:
     def count(self) -> "int | float":
         return self._count
 
-    def increment(self, time: float, amount: "int | float" = 1) -> None:
+    def increment(self, time: Seconds, amount: "int | float" = 1) -> None:
         if amount.__class__ is not int:
             if self._integral and not float(amount).is_integer():
                 self._integral = False
         self._count += amount
         self._series.append(time, self._count)
 
-    def count_in(self, start: float, end: float) -> "int | float":
+    def count_in(self, start: Seconds, end: Seconds) -> "int | float":
         """Total amount incremented over the half-open window [start, end).
 
         Returns an ``int`` only when every increment was integral;

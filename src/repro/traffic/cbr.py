@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 from repro.cc.base import Receiver, Sender
 from repro.net.packet import DATA, Packet
 from repro.sim.engine import Simulator, Timer
+from repro.units import BitsPerSecond, Bytes, Seconds
 
 __all__ = [
     "CbrSource",
@@ -36,8 +37,8 @@ class CbrSource(Sender):
     def __init__(
         self,
         sim: Simulator,
-        rate_bps: float | Callable[[float], float],
-        packet_size: int = 1000,
+        rate_bps: BitsPerSecond | Callable[[float], float],
+        packet_size: Bytes = 1000,
     ):
         super().__init__(sim, packet_size)
         self._rate = rate_bps if callable(rate_bps) else (lambda t, r=rate_bps: r)
@@ -117,10 +118,10 @@ def on_off_schedule(
 def square_wave(
     sim: Simulator,
     source: Sender,
-    on_s: float,
-    off_s: float,
-    start: float = 0.0,
-    until: float = float("inf"),
+    on_s: Seconds,
+    off_s: Seconds,
+    start: Seconds = 0.0,
+    until: Seconds = float("inf"),
     start_on: bool = True,
 ) -> None:
     """Alternate ``source`` on/off, starting at ``start``, until ``until``.
@@ -141,7 +142,7 @@ def square_wave(
 
 
 def sawtooth_rate(
-    peak_bps: float, ramp_s: float, off_s: float, start: float = 0.0
+    peak_bps: BitsPerSecond, ramp_s: Seconds, off_s: Seconds, start: Seconds = 0.0
 ) -> Callable[[float], float]:
     """Rate ramping 0 -> peak over ``ramp_s`` then OFF for ``off_s``, repeating."""
     if peak_bps <= 0 or ramp_s <= 0 or off_s < 0:
@@ -160,7 +161,7 @@ def sawtooth_rate(
 
 
 def reverse_sawtooth_rate(
-    peak_bps: float, ramp_s: float, off_s: float, start: float = 0.0
+    peak_bps: BitsPerSecond, ramp_s: Seconds, off_s: Seconds, start: Seconds = 0.0
 ) -> Callable[[float], float]:
     """Rate jumping to peak then ramping down to 0 over ``ramp_s``, then OFF."""
     if peak_bps <= 0 or ramp_s <= 0 or off_s < 0:

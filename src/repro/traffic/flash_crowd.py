@@ -17,6 +17,7 @@ from repro.cc.tcp import TcpSender, TcpSink
 from repro.net.dumbbell import Dumbbell
 from repro.sim.engine import Simulator
 from repro.sim.rng import deterministic_default_rng
+from repro.units import Bytes, PerSecond, Seconds
 
 __all__ = ["FlashCrowd"]
 
@@ -44,11 +45,11 @@ class FlashCrowd:
         self,
         sim: Simulator,
         net: Dumbbell,
-        rate_per_s: float,
-        duration_s: float,
+        rate_per_s: PerSecond,
+        duration_s: Seconds,
         transfer_packets: int = 10,
-        start_time: float = 0.0,
-        packet_size: int = 1000,
+        start_time: Seconds = 0.0,
+        packet_size: Bytes = 1000,
         rng: Optional[random.Random] = None,
     ):
         if rate_per_s <= 0 or duration_s <= 0 or transfer_packets <= 0:

@@ -1,0 +1,24 @@
+"""Fixture: scenario runners that reach file I/O and environment reads."""
+
+import os
+
+from repro.experiments.jobs import scenario
+
+
+def _load_config():
+    return open("config.json").read()
+
+
+@scenario("fixture_f001")
+def run(job):
+    os.getenv("HOME")
+    return _load_config()
+
+
+def jobs():
+    with open("jobs.txt") as handle:
+        return handle.readlines()
+
+
+def reduce(results):
+    return sorted(results)

@@ -1,0 +1,28 @@
+"""Fixture: pure scenario runners that F001 must accept."""
+
+import math
+
+from repro.experiments.jobs import scenario
+
+
+def _derived(job):
+    return math.sqrt(job.seed + 1)
+
+
+@scenario("fixture_f001_good")
+def run(job):
+    values = [_derived(job) for _ in range(3)]
+    return sum(values)
+
+
+def jobs():
+    return [{"seed": seed} for seed in range(4)]
+
+
+def reduce(results):
+    return sorted(results)
+
+
+def helper_outside_cache_scope(path):
+    # Not reachable from any runner, jobs() or reduce(): I/O is fine here.
+    return open(path).read()

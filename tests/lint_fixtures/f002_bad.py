@@ -1,0 +1,17 @@
+"""Fixture: module-global mutation from cache-scoped code."""
+
+from repro.experiments.jobs import scenario
+
+_CACHE = {}
+_TOTALS = []
+
+
+def _register(seed):
+    _TOTALS.append(seed)
+
+
+@scenario("fixture_f002")
+def run(job):
+    _CACHE[job.seed] = 1
+    _register(job.seed)
+    return dict(_CACHE)

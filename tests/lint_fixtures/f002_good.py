@@ -1,0 +1,19 @@
+"""Fixture: global reads and local mutation that F002 must accept."""
+
+from repro.experiments.jobs import scenario
+
+_DEFAULTS = {"duration": 60.0}
+
+
+@scenario("fixture_f002_good")
+def run(job):
+    # Reading module globals is fine; only mutation is cache-hostile.
+    settings = dict(_DEFAULTS)
+    settings["seed"] = job.seed
+    totals = []
+    totals.append(job.seed)
+    return settings, totals
+
+
+def jobs():
+    return [dict(_DEFAULTS)]

@@ -1,0 +1,20 @@
+"""Fixture: unit-mismatched arithmetic, comparison, assignment, return."""
+
+from repro.units import Bytes, Seconds
+
+
+def add_mismatch(delay_s: Seconds, size_bytes: Bytes) -> float:
+    return delay_s + size_bytes
+
+
+def compare_mismatch(rtt_s: Seconds, size_bytes: Bytes) -> bool:
+    return rtt_s < size_bytes
+
+
+def assign_mismatch(size_bytes: Bytes) -> float:
+    elapsed_s = size_bytes
+    return elapsed_s
+
+
+def return_mismatch(rtt_s: Seconds) -> Bytes:
+    return rtt_s

@@ -1,0 +1,19 @@
+"""Fixture: unit-correct arithmetic that U001 must not flag."""
+
+from repro.units import Bytes, Packets, Ratio, Seconds
+
+
+def add_same(delay_s: Seconds, rtt_s: Seconds) -> Seconds:
+    return delay_s + rtt_s
+
+
+def scalar_is_transparent(rtt_s: Seconds) -> Seconds:
+    return rtt_s / 8.0 + 0.5 * rtt_s
+
+
+def packets_compare_with_ratios(depth: Packets, threshold: Ratio) -> bool:
+    return depth < threshold
+
+
+def unknown_does_not_propagate(size_bytes: Bytes, mystery) -> float:
+    return size_bytes + mystery

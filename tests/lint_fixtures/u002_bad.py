@@ -1,0 +1,11 @@
+"""Fixture: products mixing bit- and byte-dimensioned operands."""
+
+from repro.units import BitsPerSecond, Bits, Bytes
+
+
+def product_mixes(size_bytes: Bytes, header_bits: Bits) -> float:
+    return size_bytes * header_bits
+
+
+def quotient_mixes(rate_bps: BitsPerSecond, size_bytes: Bytes) -> float:
+    return rate_bps / size_bytes

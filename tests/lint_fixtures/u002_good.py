@@ -1,0 +1,15 @@
+"""Fixture: the literal-8 conversion idiom that U002 must accept."""
+
+from repro.units import BitsPerSecond, Bytes, Seconds
+
+
+def bytes_to_bits_inline(size_bytes: Bytes) -> float:
+    return size_bytes * 8.0
+
+
+def transmission_time(size_bytes: Bytes, rate_bps: BitsPerSecond) -> Seconds:
+    return size_bytes * 8.0 / rate_bps
+
+
+def per_byte_time(rate_bps: BitsPerSecond, size_bytes: Bytes) -> Seconds:
+    return 8.0 / rate_bps * size_bytes

@@ -1,0 +1,15 @@
+"""Fixture: call arguments whose units disagree with the signature."""
+
+from repro.units import Bytes, Seconds
+
+
+def schedule(delay_s: Seconds) -> Seconds:
+    return delay_s
+
+
+def caller(size_bytes: Bytes) -> Seconds:
+    return schedule(size_bytes)
+
+
+def keyword_caller(size_bytes: Bytes) -> Seconds:
+    return schedule(delay_s=size_bytes)

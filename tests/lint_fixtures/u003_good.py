@@ -1,0 +1,19 @@
+"""Fixture: unit-correct and unknown-unit calls that U003 must accept."""
+
+from repro.units import Bytes, Seconds
+
+
+def schedule(delay_s: Seconds) -> Seconds:
+    return delay_s
+
+
+def correct_caller(rtt_s: Seconds) -> Seconds:
+    return schedule(rtt_s / 2.0)
+
+
+def unknown_argument(mystery) -> Seconds:
+    return schedule(mystery)
+
+
+def converted_caller(size_bytes: Bytes, rate_bps) -> Seconds:
+    return schedule(size_bytes * 8.0 / rate_bps)

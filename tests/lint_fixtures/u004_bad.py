@@ -1,0 +1,13 @@
+"""Fixture: unit suffixes that contradict the declared annotation."""
+
+from repro.units import Bytes, Seconds
+
+
+def misleading_param(delay_s: Bytes) -> Bytes:
+    return delay_s
+
+
+def misleading_variable(size: Bytes) -> Bytes:
+    total_s: Seconds = size * 0.0
+    window_bytes: Seconds = total_s
+    return size + window_bytes * 0.0

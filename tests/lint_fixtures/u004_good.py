@@ -1,0 +1,11 @@
+"""Fixture: suffixes agreeing with annotations, and unsuffixed names."""
+
+from repro.units import Bytes, Packets, Seconds
+
+
+def consistent(delay_s: Seconds, size_bytes: Bytes) -> Seconds:
+    return delay_s
+
+
+def unsuffixed_names_are_free(window: Bytes, depth: Packets) -> Bytes:
+    return window

@@ -355,10 +355,12 @@ class TestEngine:
             "ok",
             "files_checked",
             "suppressed",
+            "baselined",
+            "stale_baseline",
             "counts",
             "findings",
         }
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["ok"] is False
         assert payload["counts"] == {"D001": 3}
         for entry in payload["findings"]:
@@ -380,6 +382,12 @@ class TestEngine:
             "R001",
             "E001",
             "T001",
+            "U001",
+            "U002",
+            "U003",
+            "U004",
+            "F001",
+            "F002",
         }
 
 
@@ -413,7 +421,7 @@ class TestCli:
         rc = main([str(self._bad_tree(tmp_path)), "--json"])
         payload = json.loads(capsys.readouterr().out)
         assert rc == 1
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["ok"] is False
         assert payload["counts"] == {"E001": 3}
         assert len(payload["findings"]) == 3

@@ -1,0 +1,223 @@
+"""Tests for SARIF export and the finding-baseline mechanism."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    Baseline,
+    fingerprint,
+    lint_sources,
+    main,
+    to_sarif,
+    validate_sarif,
+)
+from repro.lint.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
+
+FIXTURES = pathlib.Path(__file__).parent / "lint_fixtures"
+NET = "src/repro/net/example.py"
+
+
+def fixture_text(name):
+    return (FIXTURES / f"{name}.py").read_text(encoding="utf-8")
+
+
+def u001_report():
+    return lint_sources({NET: fixture_text("u001_bad")}, select={"U001"})
+
+
+# ---------------------------------------------------------------------------
+# SARIF shape
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    def test_document_passes_structural_validation(self):
+        doc = to_sarif(u001_report(), RULES)
+        assert validate_sarif(doc) == []
+
+    def test_header_and_tool(self):
+        doc = to_sarif(u001_report(), RULES)
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert declared == set(RULES)
+
+    def test_results_carry_locations(self):
+        doc = to_sarif(u001_report(), RULES)
+        results = doc["runs"][0]["results"]
+        assert len(results) == 4
+        for result in results:
+            assert result["ruleId"] == "U001"
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"] == NET
+            assert location["region"]["startLine"] >= 1
+
+    def test_clean_report_yields_empty_results(self):
+        report = lint_sources({NET: "x = 1\n"})
+        doc = to_sarif(report, RULES)
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"] == []
+
+    def test_validator_rejects_malformed_documents(self):
+        assert validate_sarif({"version": "2.1.0"})  # no runs
+        doc = to_sarif(u001_report(), RULES)
+        doc["runs"][0]["results"][0]["ruleId"] = "Z999"
+        assert any("Z999" in e for e in validate_sarif(doc))
+
+    def test_against_vendored_schema_subset(self):
+        # Full jsonschema validation against the vendored subset of the
+        # OASIS SARIF 2.1.0 schema (the emitted properties, faithfully
+        # transcribed).  Skips when jsonschema is not installed — the
+        # hand-rolled validate_sarif() above always runs.
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(
+            (FIXTURES / "sarif-schema-2.1.0-subset.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        doc = to_sarif(u001_report(), RULES)
+        jsonschema.validate(doc, schema)
+
+    def test_cli_format_sarif(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "net"
+        target.mkdir(parents=True)
+        (target / "example.py").write_text(fixture_text("u001_bad"))
+        rc = main([str(tmp_path), "--format", "sarif", "--select", "U001"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert validate_sarif(doc) == []
+        assert len(doc["runs"][0]["results"]) == 4
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_fingerprint_ignores_line_numbers(self):
+        report = u001_report()
+        first = report.findings[0]
+        moved = type(first)(
+            first.rule, first.path, first.line + 10, 1, first.message
+        )
+        assert fingerprint(first) == fingerprint(moved)
+        assert fingerprint(first) != fingerprint(report.findings[1])
+
+    def test_baselined_findings_are_suppressed(self):
+        report = u001_report()
+        baseline = Baseline.from_findings(report.findings)
+        again = lint_sources(
+            {NET: fixture_text("u001_bad")}, select={"U001"}, baseline=baseline
+        )
+        assert again.ok
+        assert again.baselined == 4
+        assert again.stale_baseline == []
+
+    def test_new_findings_still_fail(self):
+        report = u001_report()
+        baseline = Baseline.from_findings(report.findings[:2])
+        again = lint_sources(
+            {NET: fixture_text("u001_bad")}, select={"U001"}, baseline=baseline
+        )
+        assert not again.ok
+        assert again.baselined == 2
+        assert len(again.findings) == 2
+
+    def test_stale_entries_reported_but_never_fail(self):
+        baseline = Baseline.from_findings(u001_report().findings)
+        clean = lint_sources({NET: "x = 1\n"}, baseline=baseline)
+        assert clean.ok
+        assert clean.baselined == 0
+        assert len(clean.stale_baseline) == 4
+
+    def test_occurrences_are_counted_not_set_matched(self):
+        # Two identical findings admitted; a third identical one is new.
+        src = (
+            "from repro.units import Bytes, Seconds\n"
+            "def f(a_s: Seconds, b_bytes: Bytes):\n"
+            "    x = a_s + b_bytes\n"
+            "    y = a_s + b_bytes\n"
+        )
+        report = lint_sources({NET: src}, select={"U001"})
+        assert len(report.findings) == 2
+        baseline = Baseline.from_findings(report.findings)
+        three = src + "    z = a_s + b_bytes\n"
+        again = lint_sources({NET: three}, select={"U001"}, baseline=baseline)
+        assert again.baselined == 2
+        assert len(again.findings) == 1
+
+    def test_round_trip_through_disk(self, tmp_path):
+        report = u001_report()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(report.findings).dump(path)
+        loaded = Baseline.load(path)
+        kept, baselined, stale = loaded.apply(report.findings)
+        assert (kept, baselined, stale) == ([], 4, [])
+
+    def test_malformed_baseline_raises_value_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+        path.write_text('{"no_fingerprints": true}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_report_dict_counts_baseline_activity(self):
+        baseline = Baseline.from_findings(u001_report().findings[:1])
+        report = lint_sources(
+            {NET: fixture_text("u001_bad")}, select={"U001"}, baseline=baseline
+        )
+        payload = report.as_dict()
+        assert payload["baselined"] == 1
+        assert payload["stale_baseline"] == []
+
+
+class TestBaselineCli:
+    def _tree(self, tmp_path):
+        target = tmp_path / "repro" / "net"
+        target.mkdir(parents=True)
+        (target / "example.py").write_text(fixture_text("u001_bad"))
+        return tmp_path
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        tree = self._tree(tmp_path)
+        baseline_file = tmp_path / "lint-baseline.json"
+        rc = main(
+            [str(tree), "--select", "U001", "--write-baseline", str(baseline_file)]
+        )
+        assert rc == 0
+        assert "wrote 4 finding(s)" in capsys.readouterr().out
+        rc = main(
+            [str(tree), "--select", "U001", "--baseline", str(baseline_file)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "clean" in out and "4 baselined" in out
+
+    def test_stale_entries_go_to_stderr(self, tmp_path, capsys):
+        tree = self._tree(tmp_path)
+        baseline_file = tmp_path / "lint-baseline.json"
+        assert main(
+            [str(tree), "--select", "U001", "--write-baseline", str(baseline_file)]
+        ) == 0
+        (tree / "repro" / "net" / "example.py").write_text("x = 1\n")
+        capsys.readouterr()
+        rc = main(
+            [str(tree), "--select", "U001", "--baseline", str(baseline_file)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.err.count("stale baseline entry") == 4
+
+    def test_missing_baseline_file_is_usage_error(self, tmp_path, capsys):
+        rc = main(
+            [str(self._tree(tmp_path)), "--baseline", str(tmp_path / "nope.json")]
+        )
+        assert rc == 2
