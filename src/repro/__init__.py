@@ -33,7 +33,7 @@ Quickstart::
     print(net.accountant.throughput_bps(tfrc_flow, 20, 60))
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.sim import Simulator
 from repro.net import Dumbbell

@@ -15,9 +15,12 @@ Usage::
     python -m repro trace fig04               # list the stored traces
     python -m repro trace fig04 --job 0       # channels of one job's trace
     python -m repro trace fig04 --replay      # recompute the table from traces
+    python -m repro run all --dispatch fifo   # submission-order dispatch
     python -m repro bench                     # kernel + figure benchmarks
     python -m repro bench --quick             # CI smoke mode
+    python -m repro bench --sweep             # cold-sweep throughput
     python -m repro bench --compare OLD NEW   # regression deltas by name
+    python -m repro bench --compare OLD NEW --gate event_chain  # gating
     python -m repro profile fig04 --top 15    # cProfile hot-function report
 
 ``run --trace`` records every probe channel (queue arrivals/drops/marks,
@@ -40,8 +43,16 @@ slot (the job is retried on a rebuilt pool), stuck jobs can be bounded
 with ``--job-timeout``, failing jobs retry up to ``--max-retries`` times,
 and completed results always reach the cache before any failure
 propagates.  ``--run-log PATH`` appends one JSONL provenance record per
-job (content hash, attempts, worker pid, wall time) plus a summary per
-figure — see ``docs/experiments.md``.
+job (content hash, attempts, worker pid, wall time, dispatch order,
+predicted cost) plus a summary per figure — see ``docs/experiments.md``.
+
+Dispatch is throughput-oriented by default: a learned cost model
+(persisted beside the result cache) predicts each job's wall seconds,
+the longest jobs are submitted first (``--dispatch lpt``), jobs cheaper
+than a pool round-trip run inline in the coordinator, worker pools fork
+from a warm preloaded fork-server template, and results travel as
+packed canonical-JSON frames.  None of this can change a table — only
+how fast it appears; see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -171,6 +182,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="record a telemetry trace per job, stored beside the cached "
         "result (requires the cache; inspect with 'repro trace')",
     )
+    run_parser.add_argument(
+        "--dispatch",
+        choices=("fifo", "lpt"),
+        default=None,
+        help="execution order: 'lpt' submits the predicted-longest jobs "
+        "first (default), 'fifo' preserves submission order; tables are "
+        "byte-identical either way (also honors REPRO_DISPATCH)",
+    )
     bench_parser = sub.add_parser(
         "bench", help="run the kernel benchmarks and write BENCH_*.json"
     )
@@ -201,11 +220,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="only the kernel micro/macro benchmarks (skip figure jobs)",
     )
     bench_parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="measure end-to-end cold-sweep throughput (serial vs old "
+        "dispatch vs the LPT scheduler) and write BENCH_sweep.json",
+    )
+    bench_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker count for the --sweep parallel configurations "
+        "(default: 4)",
+    )
+    bench_parser.add_argument(
         "--compare",
         nargs=2,
         metavar=("OLD", "NEW"),
         default=None,
         help="diff two BENCH files by benchmark name instead of measuring",
+    )
+    bench_parser.add_argument(
+        "--gate",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="with --compare: exit non-zero if benchmark NAME regressed "
+        "more than 10%% per-op (repeatable; others stay advisory)",
     )
     bench_parser.add_argument(
         "--validate",
@@ -330,55 +371,61 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
+    cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    cache = ResultCache(cache_dir) if args.cache else None
     executor = make_executor(
         args.parallel,
         job_timeout=args.job_timeout,
         max_retries=args.max_retries,
         run_log=args.run_log,
-    )
-    cache = (
-        ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
-        if args.cache
-        else None
+        dispatch=args.dispatch,
+        # The cost model learns job wall times across runs; its sidecar
+        # lives beside the result cache (cache off -> in-memory model).
+        cost_model=(
+            pathlib.Path(cache_dir) / "costmodel.json" if args.cache else None
+        ),
     )
 
     total_jobs = total_computed = total_hits = total_dedup = 0
     total_retries = total_timeouts = total_rebuilds = 0
     any_degraded = False
-    for name in names:
-        started = time.time()
-        module = runnable[name]
-        jobs = module.jobs(args.scale)
-        if args.trace:
-            jobs = [dataclasses.replace(jb, trace=True) for jb in jobs]
-        results = executor.map(jobs, cache)
-        table = module.reduce(results)
-        elapsed = time.time() - started
-        report = executor.last_report
-        total_jobs += report.jobs
-        total_computed += report.computed
-        total_hits += report.cache_hits
-        total_dedup += report.deduplicated
-        total_retries += report.retries
-        total_timeouts += report.timeouts
-        total_rebuilds += report.pool_rebuilds
-        any_degraded = any_degraded or report.degraded
-        print(table.format())
-        print(
-            f"[{name} completed in {elapsed:.1f}s at scale={args.scale}: "
-            f"{report.jobs} jobs, {report.computed} computed, "
-            f"{report.cache_hits} cache hits, "
-            f"{report.deduplicated} deduplicated{_report_extras(report)}]"
-        )
-        if args.chart:
-            chart = _figure_chart(name, table)
-            if chart:
-                print()
-                print(chart)
-        if args.out:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(table.format() + "\n")
-        print()
+    try:
+        for name in names:
+            started = time.time()
+            module = runnable[name]
+            jobs = module.jobs(args.scale)
+            if args.trace:
+                jobs = [dataclasses.replace(jb, trace=True) for jb in jobs]
+            results = executor.map(jobs, cache)
+            table = module.reduce(results)
+            elapsed = time.time() - started
+            report = executor.last_report
+            total_jobs += report.jobs
+            total_computed += report.computed
+            total_hits += report.cache_hits
+            total_dedup += report.deduplicated
+            total_retries += report.retries
+            total_timeouts += report.timeouts
+            total_rebuilds += report.pool_rebuilds
+            any_degraded = any_degraded or report.degraded
+            print(table.format())
+            print(
+                f"[{name} completed in {elapsed:.1f}s at scale={args.scale}: "
+                f"{report.jobs} jobs, {report.computed} computed, "
+                f"{report.cache_hits} cache hits, "
+                f"{report.deduplicated} deduplicated{_report_extras(report)}]"
+            )
+            if args.chart:
+                chart = _figure_chart(name, table)
+                if chart:
+                    print()
+                    print(chart)
+            if args.out:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{name}.txt").write_text(table.format() + "\n")
+            print()
+    finally:
+        executor.close()  # release warm worker pools
     if len(names) > 1:
         where = "off" if cache is None else str(cache.root or "memory")
         extras = ""
@@ -405,11 +452,13 @@ def _bench_command(args) -> int:
         compare_documents,
         dump_document,
         figure_benchmarks,
+        gate_failures,
         kernel_microbenchmarks,
         load_bench,
         new_document,
         packet_forwarding_benchmark,
         render_comparison,
+        sweep_benchmarks,
         validate_bench,
     )
 
@@ -433,10 +482,35 @@ def _bench_command(args) -> int:
             print(f"compare failed: {exc}", file=sys.stderr)
             return 1
         print(render_comparison(deltas))
+        if args.gate:
+            failures = gate_failures(deltas, args.gate)
+            for failure in failures:
+                print(f"GATE: {failure}", file=sys.stderr)
+            if failures:
+                return 1
+            print(f"gate ok: {', '.join(args.gate)}")
         return 0
 
     args.out.mkdir(parents=True, exist_ok=True)
     mode = "quick" if args.quick else "full"
+
+    if args.sweep:
+        print(
+            f"[bench: sweep throughput, mode={mode}, "
+            f"parallel={args.parallel}]"
+        )
+        started = time.time()
+        sweep_doc = new_document(
+            "sweep", args.quick, sweep_benchmarks(args.quick, args.parallel)
+        )
+        sweep_path = args.out / "BENCH_sweep.json"
+        sweep_path.write_text(dump_document(sweep_doc))
+        for entry in sweep_doc["benchmarks"]:
+            speedup = entry.get("speedup")
+            tag = f"  {speedup:.2f}x vs old dispatch" if speedup is not None else ""
+            print(f"  {entry['name']:<28} {entry['best_s']:>8.3f} s/sweep{tag}")
+        print(f"wrote {sweep_path} ({time.time() - started:.1f}s)")
+        return 0
     print(f"[bench: kernel micro/macro, mode={mode}]")
     started = time.time()
     entries = kernel_microbenchmarks(quick=args.quick, k=args.repeats)

@@ -1,4 +1,4 @@
-"""Fault-tolerant, observable job executors: serial, and process-pool parallel.
+"""Fault-tolerant, throughput-oriented job executors: serial and parallel.
 
 Executors take a list of :class:`~repro.experiments.jobs.Job` and return
 :class:`JobResult` objects **in job order**, regardless of completion
@@ -19,7 +19,36 @@ state: determinism is preserved by construction, and results are keyed by
 submission position rather than completion time.  That same purity makes
 retries safe — re-running a job can only reproduce the identical payload.
 
-Fault tolerance (the parallel executor):
+Throughput (the scheduler):
+
+* **cost-model LPT dispatch** — a :class:`~repro.experiments.costmodel.
+  CostModel` predicts each job's wall seconds (learned from run history,
+  static heuristics when cold) and ``dispatch="lpt"`` submits the
+  longest jobs first, so a sweep's stragglers start early instead of
+  serializing at the tail of the map.  ``dispatch="fifo"`` preserves
+  submission order.  Dispatch only reorders *execution*; results are
+  still reduced in canonical job order, so tables cannot change.
+* **inline fast path** — jobs predicted under ``inline_threshold_s``
+  (closed-form analysis figures: microseconds) run in the coordinating
+  process instead of paying a pool round-trip, when no fault injection
+  or per-job timeout needs worker isolation.
+* **warm fork-server pools** (``pool_mode="warm"``, the default) — worker
+  pools come from a preloaded ``multiprocessing.forkserver`` context
+  that imports ``repro`` once, so pool builds and crash-rebuilds fork a
+  warm template instead of paying interpreter+import startup; the pools
+  persist across ``map`` calls (until :meth:`ParallelExecutor.close`)
+  so a 20-figure sweep builds its slots once.  Platforms without fork
+  fall back to ``spawn``.  ``pool_mode="cold"`` restores the historical
+  pools-per-map behavior.
+* **packed result transport** (``transport="packed"``, the default) —
+  workers return results as length-prefixed binary frames carrying the
+  *canonical JSON bytes* the cache stores
+  (:mod:`repro.experiments.transport`), so the coordinator splices them
+  into cache records instead of re-serializing a re-pickled dict; with
+  a disk cache the map's small records flush as batched per-shard pack
+  appends (:meth:`~repro.experiments.cache.ResultCache.flush_batch`).
+
+Fault tolerance (the parallel executor, unchanged semantics):
 
 * each worker is its **own** single-process pool, so one crashed worker
   (``BrokenProcessPool``) takes down exactly one in-flight job — the
@@ -33,20 +62,26 @@ Fault tolerance (the parallel executor):
   jobs rather than failing the run;
 * completed results always flow into the cache *before* any failure
   propagates, so no simulation is ever computed twice — a rerun after a
-  hard failure answers the salvaged jobs from the cache.
+  hard failure answers the salvaged jobs from the cache.  Batched pack
+  writes flush before any failure propagates for the same reason.
 
 Observability: :attr:`Executor.last_report` carries full accounting for
 the last ``map`` call (retries, failures, timeouts, salvaged results,
-pool rebuilds, degradation, per-stage wall-clock), and an optional
+pool rebuilds, degradation, per-stage wall-clock, dispatch mode, inline
+count, load-balance efficiency), and an optional
 :class:`~repro.experiments.runlog.RunLog` records one JSONL event per
-job (content hash, status, attempts, worker pid, wall time) plus a
-summary per batch.  Deterministic fault injection for all of the above
-lives in :mod:`repro.experiments.faults`.
+job (content hash, status, attempts, worker pid, wall time, dispatch
+order, predicted wall seconds) plus a summary per batch.  Deterministic
+fault injection for all of the above lives in
+:mod:`repro.experiments.faults`.
 """
 
 from __future__ import annotations
 
+import json
+import multiprocessing
 import os
+import sys
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -55,11 +90,14 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.experiments.cache import MISS, ResultCache
+from repro.experiments.costmodel import CostModel
 from repro.experiments.faults import FaultSpec
 from repro.experiments.jobs import Job, execute_job
 from repro.experiments.runlog import RunLog
+from repro.experiments.transport import PackedResult, pack_result, unpack_result
 
 __all__ = [
+    "DISPATCH_MODES",
     "ExecutionError",
     "ExecutionReport",
     "Executor",
@@ -74,6 +112,44 @@ __all__ = [
 DEFAULT_MAX_RETRIES = 2
 #: Base of the exponential retry backoff, in seconds.
 DEFAULT_BACKOFF_S = 0.05
+#: Recognized dispatch orders (see ``--dispatch`` / ``REPRO_DISPATCH``).
+DISPATCH_MODES = ("fifo", "lpt")
+#: Recognized pool modes (see ``REPRO_POOL_MODE``).
+POOL_MODES = ("warm", "cold")
+#: Recognized result transports (see ``REPRO_TRANSPORT``).
+TRANSPORTS = ("packed", "pickle")
+#: Jobs predicted at or under this many wall seconds run inline in the
+#: coordinator instead of paying a pool round-trip (~ms each).
+INLINE_THRESHOLD_S = 0.01
+
+#: Modules the warm fork-server template imports before the first fork,
+#: so every worker (and every crash-rebuild) starts with the scenario
+#: registry and the execution stack already loaded.
+_WARM_PRELOAD = [
+    "repro.experiments.executor",
+    "repro.experiments.scenarios",
+]
+
+_warm_ctx: Optional[multiprocessing.context.BaseContext] = None
+
+
+def _warm_context() -> multiprocessing.context.BaseContext:
+    """The shared preloaded fork-server context (spawn fallback).
+
+    Built lazily — the fork server itself only starts when the first
+    pool is created — and shared process-wide so every warm pool forks
+    from the same preloaded template.
+    """
+    global _warm_ctx
+    if _warm_ctx is None:
+        methods = multiprocessing.get_all_start_methods()
+        if "forkserver" in methods:
+            ctx = multiprocessing.get_context("forkserver")
+            ctx.set_forkserver_preload(_WARM_PRELOAD)
+        else:  # pragma: no cover - platforms without fork
+            ctx = multiprocessing.get_context("spawn")
+        _warm_ctx = ctx
+    return _warm_ctx
 
 
 def _env_float(name: str) -> Optional[float]:
@@ -84,6 +160,15 @@ def _env_float(name: str) -> Optional[float]:
 def _env_int(name: str) -> Optional[int]:
     raw = os.environ.get(name, "").strip()
     return int(raw) if raw else None
+
+
+def _env_choice(name: str, choices: Sequence[str]) -> Optional[str]:
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return None
+    if raw not in choices:
+        raise ValueError(f"{name} must be one of {tuple(choices)}, got {raw!r}")
+    return raw
 
 
 @dataclass
@@ -103,6 +188,10 @@ class ExecutionReport:
     computed: int = 0
     cache_hits: int = 0
     deduplicated: int = 0
+    # -- scheduling ---------------------------------------------------------
+    dispatch: str = ""  # dispatch order used ("fifo" | "lpt")
+    inlined: int = 0  # jobs run on the coordinator's inline fast path
+    load_balance: float = 1.0  # max slot busy time / mean (1.0 = perfect)
     # -- fault tolerance ----------------------------------------------------
     retries: int = 0  # re-executions after an error/crash/timeout
     failures: int = 0  # jobs that exhausted their retry budget
@@ -114,6 +203,10 @@ class ExecutionReport:
     lookup_s: float = 0.0  # stage 1: cache lookups
     execute_s: float = 0.0  # stage 2/3: compute + store
     store_s: float = 0.0  # portion of execute_s spent persisting results
+    startup_s: float = 0.0  # building / reviving worker pools
+    dispatch_s: float = 0.0  # cost prediction + ordering
+    transport_s: float = 0.0  # decoding packed result frames
+    compute_s: float = 0.0  # sum of successful attempts' wall seconds
 
     def as_dict(self) -> dict:
         return {
@@ -121,6 +214,9 @@ class ExecutionReport:
             "computed": self.computed,
             "cache_hits": self.cache_hits,
             "deduplicated": self.deduplicated,
+            "dispatch": self.dispatch,
+            "inlined": self.inlined,
+            "load_balance": round(self.load_balance, 6),
             "retries": self.retries,
             "failures": self.failures,
             "timeouts": self.timeouts,
@@ -130,6 +226,10 @@ class ExecutionReport:
             "lookup_s": round(self.lookup_s, 6),
             "execute_s": round(self.execute_s, 6),
             "store_s": round(self.store_s, 6),
+            "startup_s": round(self.startup_s, 6),
+            "dispatch_s": round(self.dispatch_s, 6),
+            "transport_s": round(self.transport_s, 6),
+            "compute_s": round(self.compute_s, 6),
         }
 
 
@@ -164,6 +264,19 @@ def _pool_run(
     return execute_job(jb, fault=fault), os.getpid()
 
 
+def _pool_run_packed(
+    jb: Job, position: int, attempt: int, fault_text: Optional[str]
+) -> tuple[PackedResult, int]:
+    """Packed-transport worker entry: encode the payload before returning.
+
+    The worker serializes the payload *once*, to the canonical JSON the
+    cache would store anyway, so the pool ships one bytes frame instead
+    of pickling a nested dict the coordinator must re-serialize.
+    """
+    value, pid = _pool_run(jb, position, attempt, fault_text)
+    return pack_result(value, traced=jb.trace), pid
+
+
 class Executor:
     """Base executor: caching, dedup, ordering, retries and telemetry.
 
@@ -185,6 +298,8 @@ class Executor:
         backoff_s: Optional[float] = None,
         run_log: Union[RunLog, str, os.PathLike, None] = None,
         fault: Optional[str] = None,
+        dispatch: Optional[str] = None,
+        cost_model: Union[CostModel, str, os.PathLike, None] = None,
     ):
         self.job_timeout = (
             job_timeout if job_timeout is not None else _env_float("REPRO_JOB_TIMEOUT")
@@ -207,6 +322,20 @@ class Executor:
         fault_text = fault if fault is not None else os.environ.get("REPRO_FAULT_SPEC")
         FaultSpec.parse(fault_text)  # validate eagerly: fail fast on typos
         self._fault_text = (fault_text or "").strip() or None
+        if dispatch is None:
+            dispatch = _env_choice("REPRO_DISPATCH", DISPATCH_MODES) or "lpt"
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}"
+            )
+        self.dispatch = dispatch
+        if isinstance(cost_model, CostModel):
+            self.cost_model = cost_model
+        elif cost_model is not None:
+            self.cost_model = CostModel(cost_model)
+        else:
+            env_sidecar = os.environ.get("REPRO_COST_MODEL", "").strip()
+            self.cost_model = CostModel(env_sidecar or None)
         self.last_report = ExecutionReport()
         self._completed_count = 0  # per-map scratch, read by degrade/salvage
 
@@ -255,27 +384,47 @@ class Executor:
             wall_s: float,
             degraded: bool = False,
             timed_out: bool = False,
+            dispatch_order: Optional[int] = None,
+            predicted_wall_s: Optional[float] = None,
         ) -> None:
             # Store immediately — salvage: a later failure cannot discard
             # this result, and a rerun will answer it from the cache.
             _, jb = unique[pos]
-            # A traced execution returns {"__trace__": jsonl, "value": ...};
-            # the wrapper never reaches the result cache or the caller.
             trace_text: Optional[str] = None
-            if jb.trace and isinstance(value, dict) and "__trace__" in value:
-                trace_text = value["__trace__"]
-                value = value["value"]
+            if isinstance(value, PackedResult):
+                # Packed transport: the frame carries the canonical JSON
+                # bytes; splice them straight into the cache record.
+                transport_started = time.monotonic()
+                value_text, trace_text = unpack_result(value)
+                report.transport_s += time.monotonic() - transport_started
+            else:
+                value_text = None
+                # A traced execution returns {"__trace__": jsonl,
+                # "value": ...}; the wrapper never reaches the result
+                # cache or the caller.
+                if jb.trace and isinstance(value, dict) and "__trace__" in value:
+                    trace_text = value["__trace__"]
+                    value = value["value"]
             trace_path: Optional[str] = None
             if cache is not None:
                 store_started = time.monotonic()
-                value = cache.store(jb, value)
+                if value_text is not None:
+                    value = cache.store_text(jb, value_text)
+                else:
+                    value = cache.store(jb, value)
                 if trace_text is not None:
                     cache.store_trace(jb, trace_text)
                     stored_at = cache.trace_path(jb)
                     trace_path = str(stored_at) if stored_at is not None else None
                 report.store_s += time.monotonic() - store_started
+            elif value_text is not None:
+                transport_started = time.monotonic()
+                value = json.loads(value_text)
+                report.transport_s += time.monotonic() - transport_started
             outcomes[pos] = value
             self._completed_count = len(outcomes)
+            report.compute_s += wall_s
+            self.cost_model.observe(jb, wall_s)
             self._log_job(
                 jb,
                 status="computed",
@@ -286,8 +435,11 @@ class Executor:
                 degraded=degraded,
                 timed_out=timed_out,
                 trace_path=trace_path,
+                dispatch_order=dispatch_order,
+                predicted_wall_s=predicted_wall_s,
             )
 
+        batching = cache is not None and cache.begin_batch()
         execute_started = time.monotonic()
         try:
             self._execute([jb for _, jb in unique], complete)
@@ -295,6 +447,25 @@ class Executor:
             report.salvaged = len(outcomes)
             raise
         finally:
+            if batching:
+                # Flush *before* any failure propagates: salvage means the
+                # packed records of everything that completed are durable.
+                flush_started = time.monotonic()
+                try:
+                    cache.flush_batch()
+                except OSError as exc:
+                    print(
+                        f"repro: batched cache flush failed: {exc!r}",
+                        file=sys.stderr,
+                    )
+                report.store_s += time.monotonic() - flush_started
+            try:
+                self.cost_model.save()
+            except OSError as exc:
+                print(
+                    f"repro: cost-model sidecar write failed: {exc!r}",
+                    file=sys.stderr,
+                )
             report.execute_s = time.monotonic() - execute_started
             self._log_map(report)
 
@@ -315,6 +486,29 @@ class Executor:
         """Run the deduplicated batch; call ``complete(pos, value, ...)``
         for each job as it finishes.  Subclass responsibility."""
         raise NotImplementedError
+
+    def _dispatch_order(
+        self, jobs: Sequence[Job], predicted: Sequence[float]
+    ) -> list[int]:
+        """Execution order over ``range(len(jobs))`` per the dispatch mode.
+
+        LPT sorts by descending predicted wall seconds with the original
+        position as tie-break, so equal predictions keep submission
+        order and the order is a pure function of the predictions —
+        never of completion timing.
+        """
+        if self.dispatch == "lpt":
+            return sorted(range(len(jobs)), key=lambda pos: (-predicted[pos], pos))
+        return list(range(len(jobs)))
+
+    def close(self) -> None:
+        """Release held resources (worker pools).  Base: nothing to do."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- shared in-process execution with bounded retries --------------------
 
@@ -382,6 +576,8 @@ class Executor:
         timed_out: bool = False,
         error: Optional[str] = None,
         trace_path: Optional[str] = None,
+        dispatch_order: Optional[int] = None,
+        predicted_wall_s: Optional[float] = None,
     ) -> None:
         if self.run_log is None:
             return
@@ -402,6 +598,10 @@ class Executor:
             record["error"] = error
         if trace_path is not None:
             record["trace_path"] = trace_path
+        if dispatch_order is not None:
+            record["dispatch_order"] = dispatch_order
+        if predicted_wall_s is not None:
+            record["predicted_wall_s"] = round(predicted_wall_s, 6)
         self.run_log.record(**record)
 
     def _log_map(self, report: ExecutionReport) -> None:
@@ -416,8 +616,31 @@ class SerialExecutor(Executor):
     workers = 1
 
     def _execute(self, jobs: Sequence[Job], complete: Callable) -> None:
-        for pos, jb in enumerate(jobs):
-            self._run_in_process(pos, jb, complete)
+        report = self.last_report
+        report.dispatch = self.dispatch
+        dispatch_started = time.monotonic()
+        predicted = [self.cost_model.predict(jb) for jb in jobs]
+        order = self._dispatch_order(jobs, predicted)
+        report.dispatch_s += time.monotonic() - dispatch_started
+        for rank, pos in enumerate(order):
+            self._run_in_process(
+                pos,
+                jobs[pos],
+                _with_dispatch(complete, rank, predicted[pos]),
+            )
+
+
+def _with_dispatch(
+    complete: Callable, rank: int, predicted_wall_s: float
+) -> Callable:
+    """Bind one job's dispatch provenance onto the completion callback."""
+
+    def wrapped(pos: int, value: Any, **kwargs: Any) -> None:
+        kwargs.setdefault("dispatch_order", rank)
+        kwargs.setdefault("predicted_wall_s", predicted_wall_s)
+        complete(pos, value, **kwargs)
+
+    return wrapped
 
 
 class _Slot:
@@ -425,10 +648,13 @@ class _Slot:
 
     Worker isolation is what makes failure attribution exact: a crashed
     process breaks only its own pool, so exactly the job it was running
-    is retried — every other worker keeps its work.
+    is retried — every other worker keeps its work.  Warm-mode slots
+    outlive individual ``map`` calls; ``busy_s`` accumulates the wall
+    time this slot spent on successful harvests within the current map,
+    feeding the load-balance efficiency metric.
     """
 
-    __slots__ = ("pool", "item", "future", "started", "alive")
+    __slots__ = ("pool", "item", "future", "started", "alive", "busy_s")
 
     def __init__(self, pool: Optional[ProcessPoolExecutor]):
         self.pool = pool
@@ -436,6 +662,7 @@ class _Slot:
         self.future: Optional[Future] = None
         self.started = 0.0
         self.alive = pool is not None
+        self.busy_s = 0.0
 
 
 class ParallelExecutor(Executor):
@@ -456,6 +683,9 @@ class ParallelExecutor(Executor):
         workers: Optional[int] = None,
         *,
         max_pool_rebuilds: Optional[int] = None,
+        pool_mode: Optional[str] = None,
+        transport: Optional[str] = None,
+        inline_threshold_s: Optional[float] = None,
         **kwargs,
     ):
         super().__init__(**kwargs)
@@ -470,11 +700,31 @@ class ParallelExecutor(Executor):
         self.max_pool_rebuilds = (
             max_pool_rebuilds if max_pool_rebuilds is not None else workers + 2
         )
+        if pool_mode is None:
+            pool_mode = _env_choice("REPRO_POOL_MODE", POOL_MODES) or "warm"
+        if pool_mode not in POOL_MODES:
+            raise ValueError(
+                f"pool_mode must be one of {POOL_MODES}, got {pool_mode!r}"
+            )
+        self.pool_mode = pool_mode
+        if transport is None:
+            transport = _env_choice("REPRO_TRANSPORT", TRANSPORTS) or "packed"
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        self.transport = transport
+        self.inline_threshold_s = (
+            inline_threshold_s if inline_threshold_s is not None else INLINE_THRESHOLD_S
+        )
         self._rebuilds_used = 0
+        self._slots: list[_Slot] = []
 
     # -- pool plumbing ------------------------------------------------------
 
     def _new_pool(self) -> ProcessPoolExecutor:
+        if self.pool_mode == "warm":
+            return ProcessPoolExecutor(max_workers=1, mp_context=_warm_context())
         return ProcessPoolExecutor(max_workers=1)
 
     def _kill_pool(self, pool: Optional[ProcessPoolExecutor]) -> None:
@@ -490,6 +740,44 @@ class ParallelExecutor(Executor):
             pool.shutdown(wait=False, cancel_futures=True)
         except Exception:  # simlint: disable=E001(best-effort teardown of a broken pool; nothing to salvage from it)
             pass
+
+    def _ensure_slots(self, count: int) -> list[_Slot]:
+        """The first ``count`` slots, built or revived, reset for one map.
+
+        Warm mode reuses live pools across maps; dead or missing slots
+        get fresh pools (forked from the warm template, so a revival is
+        cheap) without charging the per-map rebuild budget — that budget
+        meters *crash* recovery, not startup.
+        """
+        while len(self._slots) < count:
+            self._slots.append(_Slot(None))
+        slots = self._slots[:count]
+        for slot in slots:
+            slot.item = None
+            slot.future = None
+            slot.busy_s = 0.0
+            if slot.pool is None or not slot.alive:
+                try:
+                    slot.pool = self._new_pool()
+                    slot.alive = True
+                except Exception:  # simlint: disable=E001(pool creation may fail on a sick host; the slot stays dead and the scheduler degrades)
+                    slot.pool = None
+                    slot.alive = False
+        return slots
+
+    def close(self) -> None:
+        """Tear down every held worker pool (idempotent)."""
+        slots, self._slots = self._slots, []
+        for slot in slots:
+            self._kill_pool(slot.pool)
+            slot.pool = None
+            slot.alive = False
+
+    def __del__(self):
+        # Warm pools outlive maps by design; don't leak worker processes
+        # when the executor itself is garbage-collected.
+        if getattr(self, "_slots", None):
+            self.close()
 
     def _respawn_or_retire(self, slot: _Slot) -> None:
         """Rebuild a slot's pool after a crash/stall, within budget."""
@@ -513,22 +801,50 @@ class ParallelExecutor(Executor):
     def _execute(self, jobs: Sequence[Job], complete: Callable) -> None:
         if not jobs:
             return
-        if (
-            self._fault_text is None
-            and self.job_timeout is None
-            and (self.workers == 1 or len(jobs) <= 1)
-        ):
+        report = self.last_report
+        report.dispatch = self.dispatch
+        dispatch_started = time.monotonic()
+        predicted = [self.cost_model.predict(jb) for jb in jobs]
+        order = self._dispatch_order(jobs, predicted)
+        report.dispatch_s += time.monotonic() - dispatch_started
+        finishers = {
+            pos: _with_dispatch(complete, rank, predicted[pos])
+            for rank, pos in enumerate(order)
+        }
+
+        plain = self._fault_text is None and self.job_timeout is None
+        if plain and (self.workers == 1 or len(jobs) <= 1):
             # Nothing to inject or time out, and no real parallelism to
             # gain: the pool buys no isolation worth its startup cost.
-            for pos, jb in enumerate(jobs):
-                self._run_in_process(pos, jb, complete)
+            for pos in order:
+                self._run_in_process(pos, jobs[pos], finishers[pos])
+            return
+
+        # Inline fast path: jobs predicted cheaper than a pool round-trip
+        # run right here.  Only when no fault spec or timeout needs the
+        # worker-isolation boundary (injected faults must be able to kill
+        # a worker, never the coordinator).
+        if plain and self.inline_threshold_s > 0.0:
+            inline = [
+                pos for pos in order if predicted[pos] <= self.inline_threshold_s
+            ]
+        else:
+            inline = []
+        inlined = dict.fromkeys(inline)
+        pooled = [pos for pos in order if pos not in inlined]
+        report.inlined += len(inline)
+        for pos in inline:
+            self._run_in_process(pos, jobs[pos], finishers[pos])
+        if not pooled:
             return
 
         self._rebuilds_used = 0
         queue: deque[tuple[int, Job, int]] = deque(
-            (pos, jb, 1) for pos, jb in enumerate(jobs)
+            (pos, jobs[pos], 1) for pos in pooled
         )
-        slots = [_Slot(self._new_pool()) for _ in range(min(self.workers, len(jobs)))]
+        startup_started = time.monotonic()
+        slots = self._ensure_slots(min(self.workers, len(pooled)))
+        report.startup_s += time.monotonic() - startup_started
         try:
             while queue or any(slot.item is not None for slot in slots):
                 for slot in slots:
@@ -538,7 +854,7 @@ class ParallelExecutor(Executor):
                 if not busy:
                     if queue and not any(slot.alive for slot in slots):
                         # Pool irrecoverable: degrade to in-process serial.
-                        self._degrade(queue, complete)
+                        self._degrade(queue, finishers)
                         return
                     continue  # a submit just failed; loop re-fills
                 waitmap = {slot.future: slot for slot in busy}
@@ -550,8 +866,22 @@ class ParallelExecutor(Executor):
                     list(waitmap), timeout=timeout, return_when=FIRST_COMPLETED
                 )
                 now = time.monotonic()
-                for future in done:
-                    self._harvest(waitmap[future], queue, complete, now)
+                # Harvest in slot order (not set order), and harvest the
+                # *whole* done batch before letting a terminal failure
+                # propagate: results that completed alongside the failure
+                # are salvaged into the cache, not dropped.
+                error: Optional[ExecutionError] = None
+                for slot in busy:
+                    if slot.future is None or slot.future not in done:
+                        continue
+                    try:
+                        self._harvest(slot, queue, finishers, now)
+                    except ExecutionError as exc:
+                        if error is None:
+                            error = exc
+                if error is not None:
+                    self._drain(slots, finishers)
+                    raise error
                 if self.job_timeout is not None:
                     for slot in busy:
                         if (
@@ -562,14 +892,18 @@ class ParallelExecutor(Executor):
                         ):
                             self._expire(slot, queue)
         finally:
-            for slot in slots:
-                self._kill_pool(slot.pool)
-                slot.pool = None
+            busy_times = [slot.busy_s for slot in slots]
+            if any(busy_times):
+                mean = sum(busy_times) / len(busy_times)
+                report.load_balance = max(busy_times) / mean
+            if self.pool_mode == "cold":
+                self.close()
 
     def _submit(self, slot: _Slot, queue: deque) -> None:
         pos, jb, attempt = queue.popleft()
+        entry = _pool_run_packed if self.transport == "packed" else _pool_run
         try:
-            future = slot.pool.submit(_pool_run, jb, pos, attempt, self._fault_text)
+            future = slot.pool.submit(entry, jb, pos, attempt, self._fault_text)
         except Exception:  # simlint: disable=E001(the pool can die between harvest and submit; the job is requeued untouched)
             # The pool died between harvest and submit: put the job back
             # untouched (it never ran) and rebuild or retire the slot.
@@ -580,7 +914,9 @@ class ParallelExecutor(Executor):
         slot.future = future
         slot.started = time.monotonic()
 
-    def _harvest(self, slot: _Slot, queue: deque, complete: Callable, now: float) -> None:
+    def _harvest(
+        self, slot: _Slot, queue: deque, finishers: dict, now: float
+    ) -> None:
         pos, jb, attempt = slot.item
         wall_s = now - slot.started
         future, slot.item, slot.future = slot.future, None, None
@@ -597,7 +933,41 @@ class ParallelExecutor(Executor):
         except Exception as exc:  # simlint: disable=E001(worker exception enters the bounded retry path; exhaustion raises ExecutionError)
             self._retry_or_fail(queue, pos, jb, attempt, exc)
         else:
-            complete(
+            slot.busy_s += wall_s
+            finishers[pos](
+                pos, value, attempts=attempt, worker_pid=worker_pid, wall_s=wall_s
+            )
+
+    def _drain(self, slots: Sequence[_Slot], finishers: dict) -> None:
+        """A terminal failure is about to propagate: give in-flight
+        workers a bounded moment to finish, and salvage what they return.
+
+        Without this, a job that completed (or was about to) on another
+        slot in the same scheduler tick as the fatal failure would be
+        discarded — and recomputed on the next run — purely by race.
+        Worker errors here are ignored: the primary failure already owns
+        the traceback.
+        """
+        busy = [slot for slot in slots if slot.future is not None]
+        if not busy:
+            return
+        timeout = self.job_timeout if self.job_timeout is not None else 5.0
+        wait([slot.future for slot in busy], timeout=timeout)
+        now = time.monotonic()
+        for slot in busy:
+            future = slot.future
+            if future is None or not future.done():
+                continue
+            pos, jb, attempt = slot.item
+            wall_s = now - slot.started
+            slot.item = None
+            slot.future = None
+            try:
+                value, worker_pid = future.result()
+            except Exception:  # simlint: disable=E001(salvage-only drain; the primary ExecutionError is already propagating)
+                continue
+            slot.busy_s += wall_s
+            finishers[pos](
                 pos, value, attempts=attempt, worker_pid=worker_pid, wall_s=wall_s
             )
 
@@ -646,7 +1016,7 @@ class ParallelExecutor(Executor):
             attempts=attempt,
         ) from exc
 
-    def _degrade(self, queue: deque, complete: Callable) -> None:
+    def _degrade(self, queue: deque, finishers: dict) -> None:
         """Pool irrecoverable: finish the remaining jobs in-process.
 
         Results completed by the pool before degradation are counted as
@@ -657,7 +1027,7 @@ class ParallelExecutor(Executor):
         while queue:
             pos, jb, attempt = queue.popleft()
             self._run_in_process(
-                pos, jb, complete, start_attempt=attempt, degraded=True
+                pos, jb, finishers[pos], start_attempt=attempt, degraded=True
             )
 
 
@@ -669,13 +1039,17 @@ def make_executor(
     backoff_s: Optional[float] = None,
     run_log: Union[RunLog, str, os.PathLike, None] = None,
     fault: Optional[str] = None,
+    dispatch: Optional[str] = None,
+    cost_model: Union[CostModel, str, os.PathLike, None] = None,
 ) -> Executor:
     """``parallel <= 1`` gives the serial executor, else a process pool.
 
     Keyword arguments default from the environment (``REPRO_JOB_TIMEOUT``,
-    ``REPRO_MAX_RETRIES``, ``REPRO_RUN_LOG``, ``REPRO_FAULT_SPEC``) so the
-    benchmark harness and CI smoke jobs can configure fault tolerance and
-    telemetry without touching call sites.
+    ``REPRO_MAX_RETRIES``, ``REPRO_RUN_LOG``, ``REPRO_FAULT_SPEC``,
+    ``REPRO_DISPATCH``, ``REPRO_POOL_MODE``, ``REPRO_TRANSPORT``,
+    ``REPRO_COST_MODEL``) so the benchmark harness and CI smoke jobs can
+    configure fault tolerance, scheduling and telemetry without touching
+    call sites.
     """
     kwargs = dict(
         job_timeout=job_timeout,
@@ -683,6 +1057,8 @@ def make_executor(
         backoff_s=backoff_s,
         run_log=run_log,
         fault=fault,
+        dispatch=dispatch,
+        cost_model=cost_model,
     )
     if parallel and parallel > 1:
         return ParallelExecutor(parallel, **kwargs)

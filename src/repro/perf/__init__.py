@@ -9,6 +9,8 @@ This package is the measurement side of the fast-path overhaul:
   fig04-style dumbbell, plus end-to-end figure-job timings;
 * :mod:`repro.perf.reference` — the frozen pre-overhaul kernel and
   forwarding stack every benchmark is measured against;
+* :mod:`repro.perf.sweep` — the cold-sweep throughput macrobenchmark
+  (serial vs old dispatch vs the LPT/warm-pool/packed scheduler);
 * :mod:`repro.perf.schema` — the deterministic ``BENCH_*.json`` shape;
 * :mod:`repro.perf.compare` — ``bench --compare`` regression deltas;
 * :mod:`repro.perf.profiling` — the ``repro profile`` cProfile wrapper.
@@ -22,7 +24,12 @@ measurements, never figure data.
 
 from __future__ import annotations
 
-from repro.perf.compare import compare_documents, load_bench, render_comparison
+from repro.perf.compare import (
+    compare_documents,
+    gate_failures,
+    load_bench,
+    render_comparison,
+)
 from repro.perf.macro import figure_benchmarks, packet_forwarding_benchmark
 from repro.perf.micro import kernel_microbenchmarks
 from repro.perf.profiling import profile_figure
@@ -33,6 +40,7 @@ from repro.perf.schema import (
     new_document,
     validate_bench,
 )
+from repro.perf.sweep import sweep_benchmarks
 from repro.perf.timing import TimingResult, min_of_k
 
 __all__ = [
@@ -42,6 +50,7 @@ __all__ = [
     "compare_documents",
     "dump_document",
     "figure_benchmarks",
+    "gate_failures",
     "kernel_microbenchmarks",
     "load_bench",
     "min_of_k",
@@ -49,5 +58,6 @@ __all__ = [
     "packet_forwarding_benchmark",
     "profile_figure",
     "render_comparison",
+    "sweep_benchmarks",
     "validate_bench",
 ]

@@ -11,9 +11,13 @@ counts down, so two runs in different modes (CI's ``--quick`` output
 against the committed full baseline) would differ ~10x in raw
 ``best_s`` while their per-op cost is directly comparable.
 
-The comparison is purely textual and advisory: CI runs it non-gating
-against the committed baseline so a regression shows up in the job log
-without making a noisy benchmark box fail the build.
+The comparison is advisory by default, with an opt-in gate: CI passes
+``--gate NAME`` for the benchmarks stable enough to enforce (the event
+chain and packet forwarding macrobenchmarks), and
+:func:`gate_failures` turns any gated regression beyond
+:data:`GATE_THRESHOLD` into a non-zero exit — everything else stays a
+visible-but-non-gating line in the job log, so one noisy micro cannot
+fail the build.
 """
 
 from __future__ import annotations
@@ -23,10 +27,22 @@ from dataclasses import dataclass
 
 from repro.perf.schema import BenchSchemaError, validate_bench
 
-__all__ = ["BenchDelta", "compare_documents", "load_bench", "render_comparison"]
+__all__ = [
+    "BenchDelta",
+    "GATE_THRESHOLD",
+    "compare_documents",
+    "gate_failures",
+    "load_bench",
+    "render_comparison",
+]
 
 #: Relative change below which an entry is classified as noise.
 NOISE_BAND = 0.05
+
+#: Per-op regression beyond which a *gated* benchmark fails the build.
+#: Deliberately wider than :data:`NOISE_BAND`: the gate exists to catch
+#: real regressions, not to make CI flaky on shared runners.
+GATE_THRESHOLD = 0.10
 
 
 @dataclass(frozen=True)
@@ -96,6 +112,36 @@ def compare_documents(old: dict, new: dict) -> list[BenchDelta]:
             )
         )
     return deltas
+
+
+def gate_failures(
+    deltas: list[BenchDelta],
+    gated: list[str],
+    threshold: float = GATE_THRESHOLD,
+) -> list[str]:
+    """Gate messages for regressions beyond ``threshold`` on gated names.
+
+    Only benchmarks listed in ``gated`` can fail the gate; a gated name
+    *missing* from the comparison also fails (a silently-dropped gate is
+    a gate that never fires again).  Non-gated regressions never appear
+    here — they stay advisory in the rendered comparison.
+    """
+    by_name = {delta.name: delta for delta in deltas}
+    failures = []
+    for name in gated:
+        delta = by_name.get(name)
+        if delta is None:
+            failures.append(f"{name}: gated benchmark missing from comparison")
+            continue
+        if delta.status in ("added", "removed"):
+            failures.append(f"{name}: gated benchmark {delta.status} — cannot gate")
+            continue
+        if delta.ratio >= 1.0 + threshold:
+            failures.append(
+                f"{name}: regressed {delta.percent:+.1f}% per-op "
+                f"(gate is +{threshold:.0%})"
+            )
+    return failures
 
 
 def _fmt_per_op(value: float | None) -> str:

@@ -119,8 +119,10 @@ class Simulator:
     """
 
     #: Compaction only kicks in above this many cancelled entries, so tiny
-    #: calendars never pay the heapify cost.
-    COMPACT_MIN_CANCELLED = 64
+    #: calendars never pay the heapify cost.  128 (not 64) because the
+    #: sweep is O(calendar): below ~a hundred tombstones, lazy pop-time
+    #: discard is measurably cheaper than even one rebuild.
+    COMPACT_MIN_CANCELLED = 128
 
     def __init__(self) -> None:
         # Calendar entries are (time, seq, event) for cancellable events
@@ -160,29 +162,37 @@ class Simulator:
         ordering without the tombstones (and the ready deque keeps its FIFO
         order under filtering by construction).  Fire-and-forget 4-tuple
         entries cannot be cancelled and always survive the sweep.
+
+        One exception: when the entry at the heap *top* is itself a
+        tombstone, the sweep is skipped.  The run loop pops and discards
+        top tombstones for free (no callback, counter decrement only), so
+        a cancellation storm aimed at the earliest events drains lazily
+        at pop time instead of paying an O(calendar) rebuild — the sweep
+        then fires on the first cancellation after the top turns live.
         """
         self._cancelled += 1
+        heap = self._heap
         if (
             self._cancelled > self.COMPACT_MIN_CANCELLED
-            and self._cancelled > (len(self._heap) + len(self._ready)) // 2
+            and self._cancelled > (len(heap) + len(self._ready)) // 2
         ):
-            # Both sweeps are in place (slice-assign / clear+extend): the
+            if heap and len(heap[0]) == 3 and heap[0][2].cancelled:
+                return
+            # The sweeps are in place (slice-assign / clear+extend): the
             # run loop holds direct references to these containers, and a
             # cancellation storm inside a callback must compact the very
-            # calendar the loop is draining.
-            for entry in self._heap:
-                if len(entry) == 3 and entry[2].cancelled:
-                    entry[2]._in_heap = False
-            self._heap[:] = [
+            # calendar the loop is draining.  Swept tombstones keep their
+            # ``_in_heap`` flag: the only reader is ``Event.cancel``,
+            # which early-returns on ``cancelled`` before ever looking at
+            # the flag, so clearing it here would be a second full pass
+            # of pure dead work.
+            heap[:] = [
                 entry
-                for entry in self._heap
+                for entry in heap
                 if len(entry) == 4 or not entry[2].cancelled
             ]
-            heapq.heapify(self._heap)
+            heapq.heapify(heap)
             if self._ready:
-                for entry in self._ready:
-                    if len(entry) == 3 and entry[2].cancelled:
-                        entry[2]._in_heap = False
                 live = [
                     entry
                     for entry in self._ready

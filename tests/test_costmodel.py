@@ -1,0 +1,144 @@
+"""Unit tests for the executor's learned job cost model."""
+
+import json
+
+import pytest
+
+from repro.experiments import fig11_convergence_analysis as fig11
+from repro.experiments import fig20_timeout_models as fig20
+from repro.experiments.costmodel import (
+    COST_MODEL_VERSION,
+    DEFAULT_SEED_S,
+    STATIC_SEED_S,
+    CostModel,
+)
+
+JOB = lambda: fig20.jobs("fast")[0]  # noqa: E731 - tiny factory
+
+
+class TestColdPredictions:
+    def test_static_seed_when_never_observed(self):
+        model = CostModel()
+        jb = JOB()
+        assert model.predict(jb) == STATIC_SEED_S[jb.scenario]
+        assert model.observations(jb) == 0
+
+    def test_analysis_scenarios_predict_microseconds(self):
+        # The magnitude routes these onto the inline fast path; a pool
+        # round-trip costs milliseconds, so the margin must be huge.
+        model = CostModel()
+        for jb in (JOB(), fig11.jobs("fast")[0]):
+            assert model.predict(jb) < 1e-3
+
+    def test_unknown_scenario_gets_the_default_seed(self):
+        import dataclasses
+
+        model = CostModel()
+        jb = dataclasses.replace(JOB(), scenario="mystery_scenario")
+        assert model.predict(jb) == DEFAULT_SEED_S
+
+    def test_paper_scale_predicts_slower_than_fast(self):
+        import dataclasses
+
+        model = CostModel()
+        fast = JOB()
+        paper = dataclasses.replace(fast, scale="paper")
+        assert model.predict(paper) > model.predict(fast)
+
+
+class TestWarmUpdates:
+    def test_first_observation_replaces_the_seed(self):
+        model = CostModel()
+        jb = JOB()
+        model.observe(jb, 2.0)
+        assert model.predict(jb) == 2.0
+        assert model.observations(jb) == 1
+
+    def test_later_observations_move_the_ewma_toward_new_values(self):
+        model = CostModel()
+        jb = JOB()
+        model.observe(jb, 1.0)
+        model.observe(jb, 3.0)
+        predicted = model.predict(jb)
+        assert 1.0 < predicted < 3.0
+        assert model.observations(jb) == 2
+
+    def test_key_is_scenario_and_scale(self):
+        import dataclasses
+
+        jb = JOB()
+        assert CostModel.key(jb) == f"{jb.scenario}:fast"
+        model = CostModel()
+        model.observe(jb, 5.0)
+        # A different scale is a different key: still cold.
+        paper = dataclasses.replace(jb, scale="paper")
+        assert model.observations(paper) == 0
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan")])
+    def test_invalid_wall_times_are_ignored(self, bad):
+        model = CostModel()
+        jb = JOB()
+        model.observe(jb, bad)
+        assert model.observations(jb) == 0
+        assert model.predict(jb) == STATIC_SEED_S[jb.scenario]
+
+
+class TestSidecarPersistence:
+    def test_save_and_reload_round_trip(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        model = CostModel(path)
+        jb = JOB()
+        model.observe(jb, 1.5)
+        assert model.save() is True
+        assert model.save() is False  # clean: nothing to write
+        reloaded = CostModel(path)
+        assert reloaded.predict(jb) == pytest.approx(1.5)
+        assert reloaded.observations(jb) == 1
+
+    def test_missing_sidecar_is_a_silent_cold_start(self, tmp_path, capsys):
+        model = CostModel(tmp_path / "nope.json")
+        assert len(model) == 0
+        assert capsys.readouterr().err == ""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{ not json !",
+            '{"version": 99, "estimates": {}}',
+            '{"estimates": {}}',
+            '{"version": 1, "estimates": {"k": [-1.0, 1]}}',
+            '{"version": 1, "estimates": {"k": [1.0, 0]}}',
+            '{"version": 1, "estimates": {"k": "oops"}}',
+        ],
+    )
+    def test_corrupt_sidecar_is_ignored_loudly(self, tmp_path, capsys, text):
+        path = tmp_path / "costmodel.json"
+        path.write_text(text)
+        model = CostModel(path)
+        err = capsys.readouterr().err
+        assert "ignoring corrupt cost-model sidecar" in err
+        assert str(path) in err
+        # Dispatch falls back to the static seeds...
+        jb = JOB()
+        assert model.predict(jb) == STATIC_SEED_S[jb.scenario]
+        # ...and the next save rewrites the bad file wholesale.
+        assert model.save() is True
+        doc = json.loads(path.read_text())
+        assert doc["version"] == COST_MODEL_VERSION
+
+    def test_saved_sidecar_is_deterministic(self, tmp_path):
+        jb = JOB()
+        paths = []
+        for name in ("a.json", "b.json"):
+            model = CostModel(tmp_path / name)
+            model.observe(fig11.jobs("fast")[0], 0.25)
+            model.observe(jb, 1.0)
+            model.save()
+            paths.append(tmp_path / name)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_no_tmp_litter_after_save(self, tmp_path):
+        model = CostModel(tmp_path / "costmodel.json")
+        model.observe(JOB(), 1.0)
+        model.save()
+        assert [p.name for p in tmp_path.iterdir()] == ["costmodel.json"]

@@ -26,7 +26,7 @@ import pathlib
 import pytest
 
 from repro.experiments import fig20_timeout_models as fig20
-from repro.experiments.cache import ResultCache
+from repro.experiments.cache import MISS, ResultCache
 from repro.experiments.executor import (
     ExecutionError,
     ParallelExecutor,
@@ -363,6 +363,26 @@ class TestCacheHygiene:
         assert not stale.exists()
         assert fresh.exists()  # may belong to a concurrent writer
         assert len(cache) == 1  # real entries untouched
+
+    def test_prune_removes_orphaned_traces(self, tmp_path):
+        # Regression: a trace whose result blob is gone (pruned by hand,
+        # lost to a partial clear...) lingered forever — prune() now
+        # removes it, while traces with a live result are untouched.
+        import dataclasses
+
+        cache = ResultCache(tmp_path)
+        keep, lose = (dataclasses.replace(jb, trace=True) for jb in JOBS()[:2])
+        for jb in (keep, lose):
+            cache.store(jb, {"ok": True})
+            cache.store_trace(jb, '{"channel": "x"}\n')
+        assert cache.has_trace(keep) and cache.has_trace(lose)
+        # Orphan one trace by deleting its result blob out from under it.
+        (tmp_path / cache.key(lose)[:2] / f"{cache.key(lose)}.json").unlink()
+        fresh = ResultCache(tmp_path)
+        assert fresh.prune() == 1
+        assert not fresh.has_trace(lose)
+        assert fresh.has_trace(keep)  # live trace untouched
+        assert fresh.lookup(keep) is not MISS  # live result untouched
 
     def test_prune_is_noop_in_memory(self):
         assert ResultCache().prune() == 0

@@ -254,13 +254,27 @@ class TestResultCache:
     def test_corrupt_blob_is_a_miss_and_recomputed(self, tmp_path):
         cache = ResultCache(tmp_path)
         js = fig20.jobs("fast", p_values=[0.1])
-        SerialExecutor().map(js, cache)
+        cache.store(js[0], {"ok": True})
         blob = tmp_path / cache.key(js[0])[:2] / f"{cache.key(js[0])}.json"
         assert blob.exists()
         blob.write_text("{ not json !")
         assert cache.lookup(js[0]) is MISS
         executor = SerialExecutor()
         executor.map(js, cache)
+        assert executor.last_report.computed == 1
+
+    def test_corrupt_pack_is_a_miss_and_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        js = fig20.jobs("fast", p_values=[0.1])
+        SerialExecutor().map(js, cache)
+        shard = cache.key(js[0])[:2]
+        pack = tmp_path / shard / f"{shard}.pack"
+        assert pack.exists()
+        pack.write_bytes(b"\x00" * 4)  # truncate: index offsets now dangle
+        fresh = ResultCache(tmp_path)
+        assert fresh.lookup(js[0]) is MISS
+        executor = SerialExecutor()
+        executor.map(js, fresh)
         assert executor.last_report.computed == 1
 
     def test_memory_cache_default(self):

@@ -458,7 +458,10 @@ class TestSelfCheck:
         assert report.ok, "\n".join(f.format() for f in report.findings)
         # Every suppression in tree carries a justification; the count
         # is pinned so new waivers are a conscious, reviewed decision.
-        assert report.suppressed == 12
+        # 14: the scheduler's pool lifecycle added two (pool creation in
+        # _ensure_slots may fail on a sick host, and the pre-failure
+        # drain ignores worker errors while salvaging in-flight results).
+        assert report.suppressed == 14
 
     def test_fixtures_are_skipped_by_the_walker(self):
         report = lint_paths([str(REPO_ROOT / "tests")])

@@ -14,6 +14,7 @@ import pytest
 from repro.perf.compare import (
     BenchDelta,
     compare_documents,
+    gate_failures,
     load_bench,
     render_comparison,
 )
@@ -110,6 +111,16 @@ class TestSchema:
         with pytest.raises(BenchSchemaError):
             validate_bench(new_document("kernel", False, [bad]))
 
+    def test_sweep_kind_and_group_validate(self):
+        sweep = entry(
+            "sweep_accept_dispatch_new",
+            group="sweep",
+            unit="s/sweep",
+            meta={"phases": {"startup_s": 0.1}, "parallel": 4},
+        )
+        doc = new_document("sweep", True, [sweep])
+        validate_bench(json.loads(dump_document(doc)))
+
 
 class TestCompare:
     def docs(self):
@@ -158,6 +169,29 @@ class TestCompare:
         (delta,) = compare_documents(old, new)
         assert delta.status == "~"
         assert delta.ratio == pytest.approx(1.0)
+
+    def test_gate_passes_within_threshold(self):
+        deltas = [
+            BenchDelta("stable", "macro", 100.0, 108.0),  # +8% < 10% gate
+            BenchDelta("noisy", "micro", 100.0, 300.0),  # ungated: ignored
+        ]
+        assert gate_failures(deltas, ["stable"]) == []
+
+    def test_gate_fails_beyond_threshold(self):
+        deltas = [BenchDelta("stable", "macro", 100.0, 115.0)]
+        (failure,) = gate_failures(deltas, ["stable"])
+        assert "stable" in failure and "+15.0%" in failure
+
+    def test_gate_fails_on_missing_or_one_sided_benchmarks(self):
+        deltas = [BenchDelta("gone", "macro", 100.0, None)]
+        failures = gate_failures(deltas, ["gone", "never_measured"])
+        assert len(failures) == 2
+        assert any("removed" in f for f in failures)
+        assert any("missing" in f for f in failures)
+
+    def test_gate_threshold_is_configurable(self):
+        deltas = [BenchDelta("x", "macro", 100.0, 108.0)]
+        assert gate_failures(deltas, ["x"], threshold=0.05)
 
     def test_load_bench_validates(self, tmp_path):
         path = tmp_path / "bad.json"

@@ -143,23 +143,43 @@ class TestCancellation:
     def test_mass_cancellation_compacts_the_heap(self):
         sim = Simulator()
         events = [sim.schedule(1.0 + i * 1e-3, lambda: None) for i in range(500)]
-        for event in events[:400]:
+        # Cancel the *latest* 400: the heap top stays live, so the sweep
+        # must actually run.  The calendar was mostly tombstones, so it
+        # must have been swept: without compaction all 500 entries would
+        # still be in the heap.
+        for event in events[100:]:
             event.cancel()
-        # The calendar was mostly tombstones, so it must have been swept:
-        # without compaction all 500 entries would still be in the heap.
         assert sim.pending == 100
         assert len(sim._heap) < 250
+
+    def test_cancellations_at_the_heap_top_skip_the_sweep(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i * 1e-3, lambda: None) for i in range(500)]
+        # Cancel the *earliest* 400: the heap top is a tombstone the whole
+        # storm, so compaction is skipped — the run loop discards top
+        # tombstones for free — while the O(1) pending counter stays exact.
+        for event in events[:400]:
+            event.cancel()
+        assert len(sim._heap) == 500
+        assert sim.pending == 100
+        fired = []
+        for event in events[400:]:
+            event.fn = fired.append
+            event.args = (event.time,)
+        sim.run()
+        assert len(fired) == 100
+        assert sim.pending == 0
 
     def test_cancel_after_compaction_does_not_drift_the_counter(self):
         sim = Simulator()
         events = [sim.schedule(1.0 + i * 1e-3, lambda: None) for i in range(500)]
-        for event in events[:400]:
+        for event in events[100:]:
             event.cancel()
-        for event in events[:400]:
+        for event in events[100:]:
             event.cancel()  # double-cancel swept tombstones: harmless
         assert sim.pending == 100
         fired = []
-        for event in events[400:]:
+        for event in events[:100]:
             event.fn = fired.append
             event.args = (event.time,)
         sim.run()
