@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import math
 
+from repro.contracts import Probability
+
 __all__ = [
     "acks_to_fairness",
     "contraction_factor",
@@ -24,7 +26,7 @@ __all__ = [
 ]
 
 
-def contraction_factor(b: float, p: float) -> float:
+def contraction_factor(b: Probability, p: Probability) -> Probability:
     """Per-ACK contraction of the expected window difference: 1 - bp."""
     if not 0 < b < 1:
         raise ValueError("b must be in (0, 1)")
@@ -33,7 +35,7 @@ def contraction_factor(b: float, p: float) -> float:
     return 1.0 - b * p
 
 
-def acks_to_fairness(b: float, p: float, delta: float = 0.1) -> float:
+def acks_to_fairness(b: Probability, p: Probability, delta: Probability = 0.1) -> float:
     """Expected ACK count for δ-fair convergence: log_{1-bp}(δ).
 
     Grows like 1/(b p) * ln(1/δ) as b -> 0: convergence time blows up

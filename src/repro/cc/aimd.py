@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import Ratio
+from repro.contracts import Probability
 
 __all__ = [
     "tcp_compatible_a",
@@ -30,21 +30,21 @@ __all__ = [
 ]
 
 
-def tcp_compatible_a(b: Ratio) -> float:
+def tcp_compatible_a(b: Probability) -> float:
     """Paper's (Yang & Lam) TCP-compatible increase for decrease factor b."""
     if not 0 < b < 1:
         raise ValueError("b must be in (0, 1)")
     return 4.0 * (2.0 * b - b * b) / 3.0
 
 
-def deterministic_a(b: Ratio) -> float:
+def deterministic_a(b: Probability) -> float:
     """Deterministic-sawtooth TCP-compatible increase: a = 3b / (2 - b)."""
     if not 0 < b < 1:
         raise ValueError("b must be in (0, 1)")
     return 3.0 * b / (2.0 - b)
 
 
-def gamma_to_b(gamma: float) -> Ratio:
+def gamma_to_b(gamma: float) -> Probability:
     """Map the paper's slowness parameter gamma to a decrease factor."""
     if gamma < 1:
         raise ValueError("gamma must be >= 1")
@@ -56,7 +56,7 @@ class AimdParams:
     """An (a, b) pair with convenience properties."""
 
     a: float
-    b: Ratio
+    b: Probability
 
     def __post_init__(self) -> None:
         if self.a <= 0:
@@ -65,7 +65,7 @@ class AimdParams:
             raise ValueError("b must be in (0, 1)")
 
     @property
-    def decrease_ratio(self) -> Ratio:
+    def decrease_ratio(self) -> Probability:
         """Window multiplier applied on a loss event: 1 - b."""
         return 1.0 - self.b
 
@@ -75,12 +75,12 @@ class AimdParams:
         return self.b < 0.5
 
     @property
-    def smoothness(self) -> Ratio:
+    def smoothness(self) -> Probability:
         """Paper's steady-state smoothness metric for AIMD: 1 - b."""
         return 1.0 - self.b
 
 
-def aimd_params(b: Ratio, relation: str = "yang-lam") -> AimdParams:
+def aimd_params(b: Probability, relation: str = "yang-lam") -> AimdParams:
     """TCP-compatible AIMD parameters for decrease factor ``b``.
 
     ``relation`` selects the a(b) rule: ``"yang-lam"`` (the paper's

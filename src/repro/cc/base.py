@@ -23,7 +23,8 @@ from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.telemetry import active_recorder
 from repro.telemetry.probes import Probe
-from repro.units import Bytes, Packets, Seconds
+from repro.contracts import CwndPackets, NonNegSeconds, PositiveBytes
+from repro.units import Packets, Seconds
 
 __all__ = ["WindowRule", "Endpoint", "Sender", "Receiver", "establish"]
 
@@ -41,18 +42,18 @@ class WindowRule(abc.ABC):
     name = "abstract"
 
     @abc.abstractmethod
-    def increase_per_ack(self, w: Packets) -> Packets:
+    def increase_per_ack(self, w: CwndPackets) -> Packets:
         """Additive window increment applied for one new ACK."""
 
     @abc.abstractmethod
-    def decrease(self, w: Packets) -> Packets:
+    def decrease(self, w: CwndPackets) -> CwndPackets:
         """New window after a loss event (>= 1)."""
 
 
 class Endpoint:
     """One end of a flow: owns the node binding and packet construction."""
 
-    def __init__(self, sim: Simulator, packet_size: Bytes = 1000):
+    def __init__(self, sim: Simulator, packet_size: PositiveBytes = 1000):
         self.sim = sim
         self.packet_size = packet_size
         self.node: Optional[Node] = None
@@ -110,7 +111,7 @@ class Sender(Endpoint):
     def __init__(
         self,
         sim: Simulator,
-        packet_size: Bytes = 1000,
+        packet_size: PositiveBytes = 1000,
         max_packets: Optional[int] = None,
     ):
         super().__init__(sim, packet_size)
@@ -133,7 +134,7 @@ class Sender(Endpoint):
         self.started_at = self.sim.now
         self._begin()
 
-    def start_at(self, time: Seconds) -> None:
+    def start_at(self, time: NonNegSeconds) -> None:
         """Schedule :meth:`start` at an absolute simulation time."""
         self.sim.at(time, self.start)
 
@@ -145,7 +146,7 @@ class Sender(Endpoint):
         self.stopped_at = self.sim.now
         self._halt()
 
-    def stop_at(self, time: Seconds) -> None:
+    def stop_at(self, time: NonNegSeconds) -> None:
         self.sim.at(time, self.stop)
 
     def _begin(self) -> None:  # pragma: no cover - abstract
@@ -168,7 +169,7 @@ class Receiver(Endpoint):
     dumbbell's :class:`~repro.net.monitor.FlowAccountant` subscribes here.
     """
 
-    def __init__(self, sim: Simulator, packet_size: Bytes = 1000):
+    def __init__(self, sim: Simulator, packet_size: PositiveBytes = 1000):
         super().__init__(sim, packet_size)
         self.on_data: list[Callable[[Packet], None]] = []
         self.packets_received = 0

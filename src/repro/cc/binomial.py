@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from repro.cc.aimd import tcp_compatible_a
 from repro.cc.base import WindowRule
-from repro.units import Packets, Ratio
+from repro.contracts import CwndPackets, PositiveRatio, Probability
+from repro.units import Packets
 
 __all__ = [
     "BinomialRule",
@@ -35,7 +36,7 @@ __all__ = [
 _MIN_WINDOW = 1.0
 
 
-def binomial_compatible_a(k: float, l: float, b: Ratio) -> float:
+def binomial_compatible_a(k: float, l: float, b: PositiveRatio) -> float:
     """Leading-order TCP-compatible increase constant for k + l = 1."""
     if abs(k + l - 1.0) > 1e-9:
         raise ValueError("TCP-compatible binomial algorithms need k + l = 1")
@@ -47,7 +48,7 @@ def binomial_compatible_a(k: float, l: float, b: Ratio) -> float:
 class BinomialRule(WindowRule):
     """General binomial window rule with parameters (k, l, a, b)."""
 
-    def __init__(self, k: float, l: float, a: float, b: Ratio, name: str = ""):
+    def __init__(self, k: float, l: float, a: float, b: PositiveRatio, name: str = ""):
         if a <= 0 or b <= 0:
             raise ValueError("a and b must be positive")
         if k < 0 or l < 0 or l > 1:
@@ -69,11 +70,11 @@ class BinomialRule(WindowRule):
             return True
         return self.b < 0.5
 
-    def increase_per_ack(self, w: Packets) -> Packets:
+    def increase_per_ack(self, w: CwndPackets) -> Packets:
         # a / W^k per RTT spread over the ~W ACKs of that RTT.
         return self.a / (w ** (self.k + 1.0))
 
-    def decrease(self, w: Packets) -> Packets:
+    def decrease(self, w: CwndPackets) -> CwndPackets:
         return max(w - self.b * (w ** self.l), _MIN_WINDOW)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -83,18 +84,18 @@ class BinomialRule(WindowRule):
 class AimdRule(BinomialRule):
     """AIMD(a, b): the k=0, l=1 binomial."""
 
-    def __init__(self, a: float, b: Ratio, name: str = ""):
+    def __init__(self, a: float, b: Probability, name: str = ""):
         if not 0 < b < 1:
             raise ValueError("AIMD decrease factor b must be in (0, 1)")
         super().__init__(0.0, 1.0, a, b, name or f"aimd(a={a:.3g},b={b:.3g})")
 
 
-def tcp_rule(b: Ratio = 0.5) -> AimdRule:
+def tcp_rule(b: Probability = 0.5) -> AimdRule:
     """TCP-compatible AIMD rule for decrease factor ``b`` (paper's a(b))."""
     return AimdRule(tcp_compatible_a(b), b, name=f"tcp({b:.4g})")
 
 
-def sqrt_rule(b: Ratio = 0.5) -> BinomialRule:
+def sqrt_rule(b: Probability = 0.5) -> BinomialRule:
     """TCP-compatible SQRT rule: k = l = 1/2, decrease factor ``b``.
 
     SQRT(1/gamma) in the paper is ``sqrt_rule(gamma_to_b(gamma))``.
@@ -102,7 +103,7 @@ def sqrt_rule(b: Ratio = 0.5) -> BinomialRule:
     return BinomialRule(0.5, 0.5, binomial_compatible_a(0.5, 0.5, b), b, name=f"sqrt({b:.4g})")
 
 
-def iiad_rule(b: Ratio = 1.0, a: float | None = None) -> BinomialRule:
+def iiad_rule(b: PositiveRatio = 1.0, a: float | None = None) -> BinomialRule:
     """IIAD rule: k = 1, l = 0, additive decrease ``b`` packets.
 
     The default increase constant follows Bansal & Balakrishnan's IIAD

@@ -20,7 +20,16 @@ from __future__ import annotations
 
 import math
 
-from repro.units import Bytes, PacketsPerSecond, Ratio, Seconds
+from repro.contracts import (
+    NonNegPps,
+    NonNegRatio,
+    PositiveBytes,
+    PositiveRatio,
+    PositiveSeconds,
+    Probability,
+    checked,
+)
+from repro.units import Ratio
 
 __all__ = [
     "simple_response_rate",
@@ -32,7 +41,8 @@ __all__ = [
 ]
 
 
-def simple_response_rate(p: Ratio) -> float:
+@checked
+def simple_response_rate(p: Probability) -> PositiveRatio:
     """Pure-AIMD (TCP a=1, b=1/2) rate in packets/RTT: sqrt(1.5 / p).
 
     The deterministic sawtooth model: one drop every 1/p packets.  Valid for
@@ -44,7 +54,8 @@ def simple_response_rate(p: Ratio) -> float:
     return math.sqrt(1.5 / p)
 
 
-def aimd_response_rate(p: Ratio, a: float, b: float) -> float:
+@checked
+def aimd_response_rate(p: Probability, a: float, b: float) -> PositiveRatio:
     """Deterministic-model rate of AIMD(a, b) in packets/RTT.
 
     The sawtooth oscillates between (1-b)W and W with slope a per RTT; the
@@ -59,13 +70,14 @@ def aimd_response_rate(p: Ratio, a: float, b: float) -> float:
     return (1.0 - b / 2.0) * w_max
 
 
+@checked
 def padhye_rate_pps(
-    p: Ratio,
-    rtt_s: Seconds,
-    rto_s: Seconds | None = None,
-    packet_size: Bytes = 1000,
+    p: Probability,
+    rtt_s: PositiveSeconds,
+    rto_s: PositiveSeconds | None = None,
+    packet_size: PositiveBytes = 1000,
     max_burst_ratio: float = 3.0,
-) -> PacketsPerSecond:
+) -> NonNegPps:
     """Padhye et al. Reno throughput in packets per second.
 
     X = 1 / (R*sqrt(2p/3) + t_RTO * min(1, 3*sqrt(3p/8)) * p * (1 + 32 p^2))
@@ -90,14 +102,16 @@ def padhye_rate_pps(
     return 1.0 / (rtt_s * sqrt_term + timeout_term)
 
 
+@checked
 def padhye_rate_per_rtt(
-    p: Ratio, rtt_s: Seconds = 1.0, rto_s: Seconds | None = None
+    p: Probability, rtt_s: PositiveSeconds = 1.0, rto_s: PositiveSeconds | None = None
 ) -> float:
     """Padhye model in packets per RTT (Figure 20's y-axis)."""
     return padhye_rate_pps(p, rtt_s, rto_s) * rtt_s
 
 
-def aimd_with_timeouts_rate(p: Ratio) -> float:
+@checked
+def aimd_with_timeouts_rate(p: Probability) -> NonNegRatio:
     """Appendix A model: AIMD extended below one packet/RTT via backoff.
 
     rate = (1/(1-p)) / (2^(1/(1-p)) - 1) packets per RTT.
@@ -107,14 +121,27 @@ def aimd_with_timeouts_rate(p: Ratio) -> float:
     on each loss exactly as exponential timer backoff does.  The paper notes
     the analysis is meaningful for p >= 0.5; the formula itself is defined
     on (0, 1).
+
+    Near p = 1 the ``2^(1/(1-p))`` term overflows a double; the rate has
+    underflowed to zero long before that, so this returns exactly 0.0
+    instead of raising.
     """
     if not 0 < p < 1:
         raise ValueError("p must be in (0, 1)")
     n_plus_1 = 1.0 / (1.0 - p)
-    return n_plus_1 / (2.0 ** n_plus_1 - 1.0)
+    try:
+        backoff = 2.0 ** n_plus_1 - 1.0
+    except OverflowError:
+        # p this close to 1 means ~1/(1-p) doublings of the timer: the
+        # rate underflows to zero long before the formula does.
+        return 0.0
+    if math.isinf(backoff):
+        return 0.0
+    return n_plus_1 / backoff
 
 
-def invert_simple_response(rate_per_rtt: float) -> Ratio:
+@checked
+def invert_simple_response(rate_per_rtt: PositiveRatio) -> Ratio:
     """Loss rate that yields ``rate_per_rtt`` under the sqrt(1.5/p) model."""
     if rate_per_rtt <= 0:
         raise ValueError("rate must be positive")

@@ -26,7 +26,8 @@ from repro.cc.base import ACK_SIZE, Receiver, Sender
 from repro.net.packet import ACK, DATA, Packet
 from repro.sim.engine import Simulator, Timer
 from repro.telemetry.probes import SeriesProbe
-from repro.units import Bytes, PacketsPerSecond, Ratio, Seconds
+from repro.contracts import NonNegPps, PositiveBytes, PositiveSeconds, Probability
+from repro.units import Seconds
 
 __all__ = ["RapSender", "RapSink", "new_rap_flow"]
 
@@ -50,11 +51,11 @@ class RapSender(Sender):
     def __init__(
         self,
         sim: Simulator,
-        b: Ratio = 0.5,
+        b: Probability = 0.5,
         a: Optional[float] = None,
-        packet_size: Bytes = 1000,
+        packet_size: PositiveBytes = 1000,
         max_packets: Optional[int] = None,
-        initial_rtt: Seconds = 0.5,
+        initial_rtt: PositiveSeconds = 0.5,
         conservative: bool = False,
     ):
         super().__init__(sim, packet_size, max_packets)
@@ -84,7 +85,7 @@ class RapSender(Sender):
     # Rate bookkeeping -----------------------------------------------------------
 
     @property
-    def rate_pps(self) -> PacketsPerSecond:
+    def rate_pps(self) -> NonNegPps:
         return self.w / self.srtt
 
     def _record_rate(self) -> None:
@@ -200,8 +201,8 @@ class RapSink(Receiver):
 
 def new_rap_flow(
     sim: Simulator,
-    b: Ratio = 0.5,
-    packet_size: Bytes = 1000,
+    b: Probability = 0.5,
+    packet_size: PositiveBytes = 1000,
     **sender_kwargs,
 ) -> tuple[RapSender, RapSink]:
     """Convenience constructor for a RAP sender/sink pair (not attached)."""

@@ -28,7 +28,8 @@ from repro.cc.binomial import tcp_rule
 from repro.net.packet import ACK, DATA, Packet
 from repro.sim.engine import Simulator, Timer
 from repro.telemetry.probes import CounterProbe, SeriesProbe
-from repro.units import Bytes, Seconds
+from repro.contracts import PositiveBytes, PositiveSeconds
+from repro.units import Seconds
 
 __all__ = ["TcpSender", "TcpSink", "new_tcp_flow"]
 
@@ -71,12 +72,12 @@ class TcpSender(Sender):
         self,
         sim: Simulator,
         rule: Optional[WindowRule] = None,
-        packet_size: Bytes = 1000,
+        packet_size: PositiveBytes = 1000,
         max_packets: Optional[int] = None,
         initial_ssthresh: float = 1e9,
-        min_rto: Seconds = 0.2,
-        max_rto: Seconds = 60.0,
-        initial_rto: Seconds = 1.0,
+        min_rto: PositiveSeconds = 0.2,
+        max_rto: PositiveSeconds = 60.0,
+        initial_rto: PositiveSeconds = 1.0,
         max_cwnd: Optional[float] = None,
         ecn: bool = False,
         limited_transmit: bool = False,
@@ -312,7 +313,7 @@ class TcpSink(Receiver):
     def __init__(
         self,
         sim: Simulator,
-        packet_size: Bytes = 1000,
+        packet_size: PositiveBytes = 1000,
         delayed_acks: bool = False,
     ):
         super().__init__(sim, packet_size)
@@ -373,7 +374,7 @@ class TcpSink(Receiver):
 def new_tcp_flow(
     sim: Simulator,
     rule: Optional[WindowRule] = None,
-    packet_size: Bytes = 1000,
+    packet_size: PositiveBytes = 1000,
     max_packets: Optional[int] = None,
     delayed_acks: bool = False,
     **sender_kwargs,

@@ -21,7 +21,7 @@ from repro.cc.base import ACK_SIZE, Receiver, Sender
 from repro.net.packet import DATA, FEEDBACK, Packet
 from repro.sim.engine import Simulator, Timer
 from repro.telemetry.probes import SeriesProbe
-from repro.units import BitsPerSecond, Bytes, Ratio, Seconds
+from repro.contracts import NonNegRate, PositiveBytes, PositiveSeconds, Probability
 
 __all__ = ["TearReceiver", "TearSender", "new_tear_flow"]
 
@@ -43,9 +43,9 @@ class TearReceiver(Receiver):
         self,
         sim: Simulator,
         epochs: int = 8,
-        beta: Ratio = 0.5,
-        packet_size: Bytes = 1000,
-        initial_rtt: Seconds = 0.5,
+        beta: Probability = 0.5,
+        packet_size: PositiveBytes = 1000,
+        initial_rtt: PositiveSeconds = 0.5,
     ):
         super().__init__(sim, packet_size)
         if epochs < 1:
@@ -110,7 +110,7 @@ class TearReceiver(Receiver):
         )
         self._round_timer.schedule(self.rtt_estimate)
 
-    def smoothed_rate_bps(self) -> BitsPerSecond:
+    def smoothed_rate_bps(self) -> NonNegRate:
         if not self._epoch_windows:
             return self.packet_size * 8.0 / self.rtt_estimate
         mean_window = sum(self._epoch_windows) / len(self._epoch_windows)
@@ -123,9 +123,9 @@ class TearSender(Sender):
     def __init__(
         self,
         sim: Simulator,
-        packet_size: Bytes = 1000,
+        packet_size: PositiveBytes = 1000,
         max_packets: Optional[int] = None,
-        initial_rtt: Seconds = 0.5,
+        initial_rtt: PositiveSeconds = 0.5,
     ):
         super().__init__(sim, packet_size, max_packets)
         self.srtt: Optional[float] = None
@@ -178,8 +178,8 @@ class TearSender(Sender):
 def new_tear_flow(
     sim: Simulator,
     epochs: int = 8,
-    beta: Ratio = 0.5,
-    packet_size: Bytes = 1000,
+    beta: Probability = 0.5,
+    packet_size: PositiveBytes = 1000,
     **sender_kwargs,
 ) -> tuple[TearSender, TearReceiver]:
     """Convenience constructor for a TEAR pair (not attached)."""

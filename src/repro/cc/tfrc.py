@@ -30,10 +30,17 @@ from typing import Optional
 
 from repro.cc.base import ACK_SIZE, Receiver, Sender
 from repro.cc.equations import padhye_rate_pps
+from repro.contracts import (
+    NonNegRate,
+    NonNegSeconds,
+    PositiveBytes,
+    PositiveSeconds,
+    Probability,
+)
 from repro.net.packet import DATA, FEEDBACK, Packet
 from repro.sim.engine import Simulator, Timer
 from repro.telemetry.probes import SeriesProbe
-from repro.units import BitsPerSecond, Bytes, Ratio, Seconds
+from repro.units import Seconds
 
 __all__ = ["TfrcReport", "TfrcReceiver", "TfrcSender", "new_tfrc_flow", "interval_weights"]
 
@@ -66,11 +73,11 @@ class TfrcReport:
 
     def __init__(
         self,
-        p: Ratio,
-        recv_rate_bps: BitsPerSecond,
+        p: Probability,
+        recv_rate_bps: NonNegRate,
         loss_reported: bool,
         echo: Seconds,
-        hold: Seconds,
+        hold: NonNegSeconds,
     ):
         self.p = p
         self.recv_rate_bps = recv_rate_bps
@@ -148,7 +155,7 @@ class LossHistory:
         avg_with_open = self._weighted_average(with_open, multipliers)
         return max(avg_closed, avg_with_open)
 
-    def loss_event_rate(self) -> Ratio:
+    def loss_event_rate(self) -> Probability:
         avg = self.average_interval()
         if avg <= 0:
             return 0.0
@@ -162,9 +169,9 @@ class TfrcReceiver(Receiver):
         self,
         sim: Simulator,
         n_intervals: int = 6,
-        packet_size: Bytes = 1000,
+        packet_size: PositiveBytes = 1000,
         history_discounting: bool = True,
-        initial_rtt: Seconds = 0.5,
+        initial_rtt: PositiveSeconds = 0.5,
     ):
         super().__init__(sim, packet_size)
         self.history = LossHistory(n_intervals, history_discounting)
@@ -253,14 +260,18 @@ class TfrcSender(Sender):
     def __init__(
         self,
         sim: Simulator,
-        packet_size: Bytes = 1000,
+        packet_size: PositiveBytes = 1000,
         max_packets: Optional[int] = None,
-        initial_rtt: Seconds = 0.5,
+        initial_rtt: PositiveSeconds = 0.5,
         conservative: bool = False,
         conservative_c: float = 1.1,
         oscillation_prevention: bool = False,
     ):
         super().__init__(sim, packet_size, max_packets)
+        if initial_rtt <= 0:
+            raise ValueError("initial_rtt must be positive")
+        if packet_size <= 0:
+            raise ValueError("packet_size must be positive")
         if conservative_c < 1.0:
             raise ValueError("conservative C must be >= 1")
         self.conservative = conservative
@@ -298,10 +309,10 @@ class TfrcSender(Sender):
     # Transmission ----------------------------------------------------------------
 
     @property
-    def rtt(self) -> Seconds:
+    def rtt(self) -> PositiveSeconds:
         return self.srtt if self.srtt is not None else self._initial_rtt
 
-    def _min_rate_bps(self) -> BitsPerSecond:
+    def _min_rate_bps(self) -> NonNegRate:
         return self.packet_size * 8.0 / T_MBI
 
     def _record_rate(self) -> None:
@@ -387,7 +398,7 @@ class TfrcSender(Sender):
             allowed *= self._rtt_sqmean / math.sqrt(self._last_rtt_sample)
         self.rate_bps = max(allowed, self._min_rate_bps())
 
-    def _equation_rate_bps(self, p: Ratio) -> BitsPerSecond:
+    def _equation_rate_bps(self, p: Probability) -> NonNegRate:
         pps = padhye_rate_pps(p, self.rtt, rto_s=4.0 * self.rtt)
         return pps * self.packet_size * 8.0
 
@@ -404,7 +415,7 @@ class TfrcSender(Sender):
 def new_tfrc_flow(
     sim: Simulator,
     n_intervals: int = 6,
-    packet_size: Bytes = 1000,
+    packet_size: PositiveBytes = 1000,
     conservative: bool = False,
     history_discounting: bool = True,
     oscillation_prevention: bool = False,

@@ -1,0 +1,466 @@
+"""Range-contract checking: the bridge from annotations to I-rule events.
+
+This module layers :mod:`repro.lint.analysis.intervals` (the abstract
+interpreter) onto the whole-program symbol tables: it reads the
+``Annotated`` contract aliases of :mod:`repro.contracts` off function
+signatures (by name, through each module's import table — exactly how
+the unit checker resolves :mod:`repro.units` aliases), seeds parameter
+intervals from the declared ranges, interprets every function body in
+the scoped packages, and emits one :class:`IntervalEvent` per finding:
+
+* ``div``  (I001) — a division whose divisor interval is *known* (has a
+  finite lower bound) and still contains zero;
+* ``range`` (I002) — a value whose inferred interval is provably
+  disjoint from the contract of the parameter/return it flows into;
+* ``time`` (I003) — a provably negative delay/time reaching the
+  simulator scheduling APIs (``schedule``/``call_in``/``call_at``/
+  ``at``/``Timer.schedule``);
+* ``drift`` (I004) — a function contracted to return some range whose
+  body clamps or computes values with a finite bound outside it.
+
+False-positive discipline mirrors the unit checker: unknown intervals
+(TOP) never fire anything, definite violations require provable
+disjointness, and the ``div`` criterion demands a known lower bound so
+half-refined comparisons cannot manufacture noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.contracts import ALIAS_RANGES, Range
+from repro.lint.analysis.intervals import (
+    Env,
+    Interval,
+    IntervalInterpreter,
+    TOP,
+)
+from repro.lint.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleTable,
+    Program,
+)
+from repro.lint.astutil import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.engine import SourceFile
+
+__all__ = ["IntervalEvent", "analyze_contracts", "interval_of"]
+
+#: Scheduling APIs whose first argument is a (relative or absolute)
+#: simulation time that must never be negative.  ``at`` is ambiguous as
+#: a bare name, so it only counts on a receiver that looks like the
+#: simulator (``sim.at`` / ``self.sim.at``).
+_TIME_METHODS = {"schedule", "call_in", "call_at"}
+_TIME_KEYWORDS = {"delay", "time", "when"}
+
+
+@dataclass(frozen=True)
+class IntervalEvent:
+    """One interval-analysis finding, before rule-code assignment."""
+
+    kind: str  # div | range | time | drift
+    path: str
+    node: ast.AST
+    message: str
+
+
+def interval_of(rng: Range) -> Interval:
+    """The abstract interval a :class:`repro.contracts.Range` denotes."""
+    return Interval.make(rng.lo, rng.hi, rng.lo_open, rng.hi_open)
+
+
+def _admits(declared: Range, value: Interval) -> bool:
+    """True when every value in ``value`` provably satisfies ``declared``.
+
+    Checked with :meth:`Range.contains` rather than interval inclusion
+    because a closed infinite endpoint admits ``inf`` itself (TCP
+    equations legitimately return ``math.inf`` as loss goes to zero),
+    which Interval normalization cannot express.
+    """
+    return declared.contains(value.lo) and declared.contains(value.hi)
+
+
+@dataclass
+class ContractSignature:
+    """Declared ranges of one function's parameters and return value."""
+
+    info: FunctionInfo
+    param_names: list[str]
+    param_ranges: dict[str, Optional[Range]]
+    return_range: Optional[Range]
+    has_vararg: bool
+
+
+class ContractWorld:
+    """Whole-program contract anchors: per-function declared ranges."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.signatures: dict[int, ContractSignature] = {}  # id(FunctionInfo)
+        for table in program.modules.values():
+            for info in table.all_functions():
+                self._index_function(info)
+
+    def annotation_range(
+        self, module: ModuleTable, annotation: Optional[ast.expr]
+    ) -> Optional[Range]:
+        """The :class:`Range` an annotation declares, if any.
+
+        Contract aliases are honored only when the name resolves to
+        :mod:`repro.contracts` through the module's import table (or is
+        used inside ``repro.contracts`` itself) — a user-defined
+        ``Probability`` in some other module stays uninterpreted.
+        """
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Subscript):
+            head = dotted_name(annotation.value)
+            if head is not None and head.split(".")[-1] in ("Optional", "Annotated"):
+                inner = annotation.slice
+                if isinstance(inner, ast.Tuple) and inner.elts:
+                    inner = inner.elts[0]
+                return self.annotation_range(module, inner)
+            return None
+        if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+            left = self.annotation_range(module, annotation.left)
+            return left if left is not None else self.annotation_range(
+                module, annotation.right
+            )
+        name = dotted_name(annotation)
+        if name is None:
+            return None
+        leaf = name.split(".")[-1]
+        if leaf not in ALIAS_RANGES:
+            return None
+        head = name.split(".")[0]
+        target = module.imports.get(head)
+        if target is None:
+            return ALIAS_RANGES[leaf] if module.dotted == "repro.contracts" else None
+        full = target + ("." + ".".join(name.split(".")[1:]) if "." in name else "")
+        if full.startswith("repro.contracts"):
+            return ALIAS_RANGES[leaf]
+        return None
+
+    def _index_function(self, info: FunctionInfo) -> None:
+        args = info.node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        ranges: dict[str, Optional[Range]] = {}
+        for arg in positional + list(args.kwonlyargs):
+            ranges[arg.arg] = self.annotation_range(info.module, arg.annotation)
+        self.signatures[id(info)] = ContractSignature(
+            info=info,
+            param_names=[a.arg for a in positional],
+            param_ranges=ranges,
+            return_range=self.annotation_range(info.module, info.node.returns),
+            has_vararg=args.vararg is not None,
+        )
+
+    def signature_of(self, info: FunctionInfo) -> Optional[ContractSignature]:
+        return self.signatures.get(id(info))
+
+
+class _FunctionAnalyzer(IntervalInterpreter):
+    """Interprets one scope and emits contract events."""
+
+    def __init__(
+        self,
+        world: ContractWorld,
+        src: "SourceFile",
+        module: ModuleTable,
+        events: list[IntervalEvent],
+        seen: set[tuple[int, str]],
+        cls: Optional[ClassInfo] = None,
+        signature: Optional[ContractSignature] = None,
+    ):
+        super().__init__()
+        self.world = world
+        self.src = src
+        self.module = module
+        self.events = events
+        self._seen = seen
+        self.cls = cls
+        self.signature = signature
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _emit(self, kind: str, node: ast.AST, message: str) -> None:
+        key = (id(node), kind)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.events.append(IntervalEvent(kind, self.src.path, node, message))
+
+    @staticmethod
+    def _describe(node: ast.AST) -> str:
+        try:
+            text = ast.unparse(node)  # type: ignore[arg-type]
+        except Exception:
+            return "<expr>"
+        return text if len(text) <= 40 else text[:37] + "..."
+
+    # -- interpreter hooks ---------------------------------------------------
+
+    def handle_division(self, node: ast.AST, divisor: Interval) -> None:
+        if divisor.is_empty or not divisor.contains_zero:
+            return
+        # Only speak when the lower bound is *known*: an unconstrained
+        # or half-refined divisor (TOP, (-inf, c]) stays silent, so
+        # unannotated code can never produce noise.
+        if divisor.lo == float("-inf"):
+            return
+        divisor_expr: Optional[ast.AST] = None
+        if isinstance(node, ast.BinOp):
+            divisor_expr = node.right
+        elif isinstance(node, ast.AugAssign):
+            divisor_expr = node.value
+        label = self._describe(divisor_expr) if divisor_expr is not None else "<expr>"
+        self._emit(
+            "div",
+            node,
+            f"divides by {label!r} whose interval {divisor} includes 0 "
+            "with no dominating guard (raise, clamp, or test the divisor "
+            "before dividing)",
+        )
+
+    def handle_return(self, stmt: ast.Return, value: Interval) -> None:
+        if self.signature is None or self.signature.return_range is None:
+            return
+        declared = self.signature.return_range
+        contract = interval_of(declared)
+        qualname = self.signature.info.qualname
+        if value.is_empty or _admits(declared, value):
+            return
+        if value.disjoint(contract):
+            self._emit(
+                "range",
+                stmt,
+                f"returns a value in {value} from {qualname}(), which is "
+                f"contracted to return {declared}",
+            )
+            return
+        lo_escapes = value.lo > float("-inf") and not contract.contains(value.lo) and (
+            value.lo < contract.lo or not value.lo_open
+        )
+        hi_escapes = value.hi < float("inf") and not contract.contains(value.hi) and (
+            value.hi > contract.hi or not value.hi_open
+        )
+        if lo_escapes or hi_escapes:
+            self._emit(
+                "drift",
+                stmt,
+                f"{qualname}() is contracted to return {declared} but this "
+                f"return admits values in {value}: the body's clamps/"
+                "assignments drift outside the declared range",
+            )
+
+    def handle_call(self, call: ast.Call, env: Env) -> None:
+        resolved = self._resolve_call(call)
+        self._check_contracted_args(call, env, resolved)
+        self._check_time_argument(call, env, resolved)
+
+    def call_interval(self, call: ast.Call, env: Env) -> Interval:
+        resolved = self._resolve_call(call)
+        if isinstance(resolved, FunctionInfo):
+            sig = self.world.signature_of(resolved)
+            if sig is not None and sig.return_range is not None:
+                return interval_of(sig.return_range)
+        return TOP
+
+    def handle_assign(
+        self, target: ast.expr, value: Interval, stmt: ast.stmt, env: Env
+    ) -> None:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(target, ast.Name):
+            return
+        declared = self.world.annotation_range(self.module, stmt.annotation)
+        if declared is None:
+            return
+        contract = interval_of(declared)
+        if _admits(declared, value):
+            env.set(target.id, value)
+            return
+        if not value.is_empty and value.disjoint(contract):
+            self._emit(
+                "range",
+                stmt,
+                f"assigns a value in {value} to {target.id!r}, which is "
+                f"contracted to {declared}",
+            )
+            return
+        # The declaration is an extra assumption: narrow the local.
+        env.set(target.id, value.meet(contract))
+
+    # -- call resolution -----------------------------------------------------
+
+    def _resolve_call(self, call: ast.Call) -> Optional[FunctionInfo]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self.world.program.resolve(self.module, func.id)
+            if isinstance(resolved, FunctionInfo):
+                return resolved
+            if isinstance(resolved, ClassInfo):
+                return self.world.program.find_method(resolved, "__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                if self.cls is not None:
+                    return self.world.program.find_method(self.cls, func.attr)
+                return None
+            name = dotted_name(func)
+            if name is not None:
+                resolved = self.world.program.resolve(self.module, name)
+                if isinstance(resolved, FunctionInfo):
+                    return resolved
+                if isinstance(resolved, ClassInfo):
+                    return self.world.program.find_method(resolved, "__init__")
+        return None
+
+    def _check_contracted_args(
+        self, call: ast.Call, env: Env, resolved: Optional[FunctionInfo]
+    ) -> None:
+        if resolved is None:
+            return
+        sig = self.world.signature_of(resolved)
+        if sig is None:
+            return
+        skip_self = resolved.cls is not None and not isinstance(call.func, ast.Name)
+        if resolved.node.name == "__init__":
+            skip_self = True
+        params = sig.param_names[1:] if skip_self and sig.param_names else sig.param_names
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred) or position >= len(params):
+                break
+            self._check_arg(sig, params[position], arg, env)
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in sig.param_ranges:
+                self._check_arg(sig, kw.arg, kw.value, env)
+
+    def _check_arg(
+        self, sig: ContractSignature, param: str, arg: ast.expr, env: Env
+    ) -> None:
+        declared = sig.param_ranges.get(param)
+        if declared is None:
+            return
+        actual = self.eval(arg, env)
+        if actual.is_empty or actual.is_top or _admits(declared, actual):
+            return
+        if actual.disjoint(interval_of(declared)):
+            self._emit(
+                "range",
+                arg,
+                f"passes a value in {actual} where parameter {param!r} of "
+                f"{sig.info.qualname}() is contracted to {declared}",
+            )
+
+    def _check_time_argument(
+        self, call: ast.Call, env: Env, resolved: Optional[FunctionInfo]
+    ) -> None:
+        api = self._time_api_name(call, resolved)
+        if api is None:
+            return
+        delay: Optional[ast.expr] = None
+        if call.args and not isinstance(call.args[0], ast.Starred):
+            delay = call.args[0]
+        else:
+            for kw in call.keywords:
+                if kw.arg in _TIME_KEYWORDS:
+                    delay = kw.value
+                    break
+        if delay is None:
+            return
+        interval = self.eval(delay, env)
+        if interval.is_empty:
+            return
+        provably_negative = interval.hi < 0 or (interval.hi == 0 and interval.hi_open)
+        if provably_negative:
+            self._emit(
+                "time",
+                delay,
+                f"passes a provably negative time (interval {interval}) to "
+                f"{api}(); the simulator rejects negative delays at runtime",
+            )
+
+    def _time_api_name(
+        self, call: ast.Call, resolved: Optional[FunctionInfo]
+    ) -> Optional[str]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if resolved is not None and resolved.cls is not None:
+            if resolved.cls.name in ("Simulator", "Timer") and resolved.node.name in (
+                *_TIME_METHODS,
+                "at",
+            ):
+                return f"{resolved.cls.name}.{resolved.node.name}"
+        if func.attr in _TIME_METHODS:
+            return func.attr
+        if func.attr == "at" and self._looks_like_sim(func.value):
+            return "at"
+        return None
+
+    @staticmethod
+    def _looks_like_sim(receiver: ast.expr) -> bool:
+        if isinstance(receiver, ast.Name):
+            return receiver.id in ("sim", "simulator")
+        if isinstance(receiver, ast.Attribute):
+            return receiver.attr in ("sim", "simulator")
+        return False
+
+
+def _seed_env(world: ContractWorld, info: FunctionInfo) -> Env:
+    env = Env()
+    sig = world.signature_of(info)
+    if sig is not None:
+        for name, rng in sig.param_ranges.items():
+            if rng is not None:
+                env.set(name, interval_of(rng))
+    return env
+
+
+def analyze_contracts(
+    program: Program,
+    files: Sequence["SourceFile"],
+    scope_paths: Sequence[str],
+) -> list[IntervalEvent]:
+    """Run the interval/contract analysis over the in-scope files.
+
+    Contract anchors (signatures) come from the whole program; function
+    bodies are interpreted — and events reported — only for files whose
+    paths sit inside ``scope_paths``.
+    """
+    from repro.lint.registry import in_package
+
+    world = ContractWorld(program)
+    events: list[IntervalEvent] = []
+    for src in files:
+        if src.tree is None or not in_package(src.path, *scope_paths):
+            continue
+        table = program.table(src.path)
+        if table is None:
+            continue
+        seen: set[tuple[int, str]] = set()
+        module_body = table.tree.body if isinstance(table.tree, ast.Module) else []
+        _FunctionAnalyzer(world, src, table, events, seen).run(module_body, Env())
+        for info in table.all_functions():
+            analyzer = _FunctionAnalyzer(
+                world,
+                src,
+                table,
+                events,
+                seen,
+                cls=info.cls,
+                signature=world.signature_of(info),
+            )
+            analyzer.run(info.node.body, _seed_env(world, info))
+    events.sort(
+        key=lambda e: (
+            e.path,
+            getattr(e.node, "lineno", 0),
+            getattr(e.node, "col_offset", 0),
+        )
+    )
+    return events

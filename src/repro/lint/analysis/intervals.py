@@ -1,0 +1,1091 @@
+"""Interval abstract interpretation over one function body.
+
+This is the numeric core of simlint's I-rules: a classic interval
+domain (value ranges over floats with optionally *open* endpoints) and
+a flow-sensitive intraprocedural abstract interpreter that executes a
+function body over it — branch refinement on comparisons, widening at
+loop heads, and transfer functions for arithmetic including division.
+
+Open endpoints are what make the domain strong enough for the paper's
+equations: after ``if not 0.0 < p <= 1.0: raise ValueError`` the
+loss-event rate ``p`` is known to lie in ``(0, 1]``, which *excludes*
+zero, so ``math.sqrt(1.5 / p)`` is provably safe — while an unguarded
+``1.0 / p`` under a ``Probability`` contract (``[0, 1]``) is provably
+dangerous as ``p -> 0`` (Bansal et al., SIGCOMM 2001, Section 5).
+
+The interpreter is deliberately client-agnostic: it knows Python
+control flow and numeric transfer functions, and defers everything
+that needs whole-program context (call resolution, annotation
+contracts, event emission) to overridable hooks.  The contracts layer
+(:mod:`repro.lint.analysis.contracts`) subclasses it; the lattice-law
+property tests exercise the domain directly.
+
+Soundness conventions:
+
+* ``TOP`` (the unconstrained interval) propagates silently — hooks are
+  given every division, but a client that wants zero false positives
+  only speaks when the divisor's interval is *known*;
+* joins over-approximate (interval hull), ``int``/``round``/``//``
+  round outward to closed endpoints, and widening jumps to the nearest
+  of a small threshold set (−1, 0, 1) before giving up to infinity, so
+  loop analysis terminates in a handful of iterations.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass
+from typing import Final, Iterable, Optional, Sequence
+
+__all__ = ["Env", "Interval", "IntervalInterpreter", "TOP", "EMPTY"]
+
+_INF = math.inf
+
+#: Widening thresholds: the landmarks protocol invariants live at.
+WIDEN_THRESHOLDS: Final = (-1.0, 0.0, 1.0)
+
+#: Fixpoint iterations before the loop analysis forces convergence.
+MAX_LOOP_PASSES: Final = 16
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A set of reals ``{x | lo <? x <? hi}`` with open/closed endpoints.
+
+    Infinite endpoints are always open (infinity is a limit, not a
+    value) — except that for *contract* comparisons ``math.inf`` itself
+    is treated as satisfying ``hi == inf``; the constructor via
+    :meth:`make` normalizes.  The empty interval is the singleton
+    :data:`EMPTY`; the unconstrained one is :data:`TOP`.
+    """
+
+    lo: float
+    hi: float
+    lo_open: bool = False
+    hi_open: bool = False
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def make(
+        lo: float, hi: float, lo_open: bool = False, hi_open: bool = False
+    ) -> "Interval":
+        if math.isnan(lo) or math.isnan(hi):
+            return TOP
+        if lo > hi:
+            return EMPTY
+        if lo == hi and lo_open != hi_open and math.isfinite(lo):
+            return EMPTY
+        if lo == -_INF:
+            lo_open = True
+        if hi == _INF:
+            hi_open = True
+        if lo == hi and lo_open and hi_open and math.isfinite(lo):
+            return EMPTY
+        return Interval(lo, hi, lo_open, hi_open)
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        if math.isnan(value):
+            return TOP
+        return Interval(value, value, False, False)
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == -_INF and self.hi == _INF
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi and not self.lo_open and not self.hi_open
+
+    @property
+    def is_known(self) -> bool:
+        """At least one bound is informative (finite endpoint)."""
+        return not self.is_empty and (
+            math.isfinite(self.lo) or math.isfinite(self.hi)
+        )
+
+    def contains(self, value: float) -> bool:
+        if self.is_empty or math.isnan(value):
+            return False
+        if value < self.lo or (value == self.lo and self.lo_open):
+            return False
+        if value > self.hi or (value == self.hi and self.hi_open):
+            return False
+        return True
+
+    @property
+    def contains_zero(self) -> bool:
+        return self.contains(0.0)
+
+    def subset_of(self, other: "Interval") -> bool:
+        """Lattice order: every value of ``self`` lies in ``other``."""
+        if self.is_empty:
+            return True
+        if other.is_empty:
+            return False
+        if self.lo < other.lo:
+            return False
+        if self.lo == other.lo and other.lo_open and not self.lo_open:
+            return False
+        if self.hi > other.hi:
+            return False
+        if self.hi == other.hi and other.hi_open and not self.hi_open:
+            return False
+        return True
+
+    def disjoint(self, other: "Interval") -> bool:
+        return self.meet(other).is_empty
+
+    # -- lattice -------------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound: the interval hull."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        if self.lo < other.lo:
+            lo, lo_open = self.lo, self.lo_open
+        elif other.lo < self.lo:
+            lo, lo_open = other.lo, other.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open and other.lo_open
+        if self.hi > other.hi:
+            hi, hi_open = self.hi, self.hi_open
+        elif other.hi > self.hi:
+            hi, hi_open = other.hi, other.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open and other.hi_open
+        return Interval.make(lo, hi, lo_open, hi_open)
+
+    def meet(self, other: "Interval") -> "Interval":
+        """Greatest lower bound: the intersection."""
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if self.lo > other.lo:
+            lo, lo_open = self.lo, self.lo_open
+        elif other.lo > self.lo:
+            lo, lo_open = other.lo, other.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open or other.lo_open
+        if self.hi < other.hi:
+            hi, hi_open = self.hi, self.hi_open
+        elif other.hi < self.hi:
+            hi, hi_open = other.hi, other.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open or other.hi_open
+        return Interval.make(lo, hi, lo_open, hi_open)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Classic threshold widening: jump unstable bounds outward.
+
+        A lower bound still descending drops to the nearest threshold
+        below the new value (then to −inf); an upper bound still
+        climbing jumps to the nearest threshold above (then to +inf).
+        Guarantees termination: each application strictly enlarges a
+        bound through the finite threshold ladder.
+        """
+        if self.is_empty:
+            return newer
+        if newer.is_empty:
+            return self
+        merged = self.join(newer)
+        lo, lo_open = merged.lo, merged.lo_open
+        hi, hi_open = merged.hi, merged.hi_open
+        if merged.lo < self.lo or (
+            merged.lo == self.lo and self.lo_open and not merged.lo_open
+        ):
+            below = [t for t in WIDEN_THRESHOLDS if t <= merged.lo]
+            lo, lo_open = (max(below), False) if below else (-_INF, True)
+        if merged.hi > self.hi or (
+            merged.hi == self.hi and self.hi_open and not merged.hi_open
+        ):
+            above = [t for t in WIDEN_THRESHOLDS if t >= merged.hi]
+            hi, hi_open = (min(above), False) if above else (_INF, True)
+        return Interval.make(lo, hi, lo_open, hi_open)
+
+    # -- transfer functions --------------------------------------------------
+
+    def neg(self) -> "Interval":
+        if self.is_empty:
+            return EMPTY
+        return Interval.make(-self.hi, -self.lo, self.hi_open, self.lo_open)
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        lo = _add_values(self.lo, other.lo, -_INF)
+        hi = _add_values(self.hi, other.hi, _INF)
+        return Interval.make(
+            lo, hi, self.lo_open or other.lo_open, self.hi_open or other.hi_open
+        )
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.neg())
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        corners = [
+            _mul_corner(a, ao, b, bo)
+            for a, ao in ((self.lo, self.lo_open), (self.hi, self.hi_open))
+            for b, bo in ((other.lo, other.lo_open), (other.hi, other.hi_open))
+        ]
+        # Ties between corners with equal value must keep the hull sound:
+        # a closed (attained) corner beats an open one at both ends.
+        lo, lo_open = min(corners, key=lambda c: (c[0], c[1]))
+        hi, hi_open = max(corners, key=lambda c: (c[0], not c[1]))
+        return Interval.make(lo, hi, lo_open, hi_open)
+
+    def inverse(self) -> "Interval":
+        """``1/x`` for an interval that does NOT contain zero."""
+        if self.is_empty:
+            return EMPTY
+        if self.contains_zero:
+            return TOP
+        negative = self.hi < 0 or (self.hi == 0 and self.hi_open)
+        sign = -1.0 if negative else 1.0
+        lo, lo_open = _inv_endpoint(self.hi, self.hi_open, sign)
+        hi, hi_open = _inv_endpoint(self.lo, self.lo_open, sign)
+        return Interval.make(lo, hi, lo_open, hi_open)
+
+    def div(self, other: "Interval") -> "Interval":
+        """``x / y``; TOP when the divisor may be zero (the client is
+        expected to have reported that division separately).
+
+        Corners are divided directly rather than via ``mul(inverse())``:
+        the two-step form rounds twice, and the doubly-rounded endpoint
+        can land strictly inside the true hull (``2.5 * (1/-1.5)`` !=
+        ``2.5 / -1.5``).  A single correctly-rounded quotient per corner
+        is monotone, so every concrete quotient stays inside the hull.
+        """
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if other.contains_zero:
+            return TOP
+        negative = other.hi < 0 or (other.hi == 0 and other.hi_open)
+        sign = -1.0 if negative else 1.0
+        corners = [
+            _div_corner(a, ao, b, bo, sign)
+            for a, ao in ((self.lo, self.lo_open), (self.hi, self.hi_open))
+            for b, bo in ((other.lo, other.lo_open), (other.hi, other.hi_open))
+        ]
+        lo, lo_open = min(corners, key=lambda c: (c[0], c[1]))
+        hi, hi_open = max(corners, key=lambda c: (c[0], not c[1]))
+        return Interval.make(lo, hi, lo_open, hi_open)
+
+    def absolute(self) -> "Interval":
+        if self.is_empty:
+            return EMPTY
+        if self.is_top:
+            # |x| >= 0, but manufacturing a known lower bound out of a
+            # fully unknown operand lets guarded divisions false-fire
+            # (see handle_division's known-lower-bound criterion).
+            return TOP
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return self.neg()
+        # When |lo| == |hi| the upper bound is attained from whichever
+        # side is closed: open only if both endpoints are open.
+        if -self.lo > self.hi:
+            hi, hi_open = -self.lo, self.lo_open
+        elif self.hi > -self.lo:
+            hi, hi_open = self.hi, self.hi_open
+        else:
+            hi, hi_open = self.hi, self.lo_open and self.hi_open
+        return Interval.make(0.0, hi, False, hi_open)
+
+    def outward_int(self) -> "Interval":
+        """Sound hull after int()/round()///: closed integer bounds."""
+        if self.is_empty:
+            return EMPTY
+        lo = math.floor(self.lo) if math.isfinite(self.lo) else -_INF
+        hi = math.ceil(self.hi) if math.isfinite(self.hi) else _INF
+        return Interval.make(lo, hi, False, False)
+
+    def monotone(self, fn, domain: "Interval") -> "Interval":
+        """Image under an increasing ``fn``, clipped to ``fn``'s domain.
+
+        Used for sqrt/log/exp: endpoints map through ``fn``; openness
+        is preserved (a strictly increasing map keeps strict bounds).
+        Values outside ``domain`` would raise at runtime — the abstract
+        result only describes the non-raising executions.
+        """
+        if self.is_top:
+            # Domain clipping a fully unknown input would invent a known
+            # bound (sqrt(TOP) -> [0, inf)); stay silent instead, matching
+            # absolute() — derived bounds only when the operand is known.
+            return TOP
+        clipped = self.meet(domain)
+        if clipped.is_empty:
+            return EMPTY
+        lo = fn(clipped.lo)
+        hi = fn(clipped.hi)
+        return Interval.make(lo, hi, clipped.lo_open, clipped.hi_open)
+
+    # -- refinement helpers --------------------------------------------------
+
+    def assume_lt(self, bound: "Interval") -> "Interval":
+        return self.meet(Interval.make(-_INF, bound.hi, True, True))
+
+    def assume_le(self, bound: "Interval") -> "Interval":
+        return self.meet(Interval.make(-_INF, bound.hi, True, bound.hi_open))
+
+    def assume_gt(self, bound: "Interval") -> "Interval":
+        return self.meet(Interval.make(bound.lo, _INF, True, True))
+
+    def assume_ge(self, bound: "Interval") -> "Interval":
+        return self.meet(Interval.make(bound.lo, _INF, bound.lo_open, True))
+
+    def assume_ne(self, bound: "Interval") -> "Interval":
+        """Refine ``x != c``: only endpoint exclusion is expressible."""
+        if not bound.is_point or self.is_empty:
+            return self
+        c = bound.lo
+        lo_open, hi_open = self.lo_open, self.hi_open
+        if self.lo == c:
+            lo_open = True
+        if self.hi == c:
+            hi_open = True
+        return Interval.make(self.lo, self.hi, lo_open, hi_open)
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "(empty)"
+        left = "(" if self.lo_open else "["
+        right = ")" if self.hi_open else "]"
+        return f"{left}{self.lo:g}, {self.hi:g}{right}"
+
+
+TOP: Final = Interval(-_INF, _INF, True, True)
+EMPTY: Final = Interval(_INF, -_INF, True, True)
+
+
+def _add_values(a: float, b: float, infinity_wins: float) -> float:
+    """Endpoint addition; opposite infinities resolve to the sound side."""
+    if math.isinf(a) and math.isinf(b) and a != b:
+        return infinity_wins
+    return a + b
+
+
+def _mul_corner(
+    a: float, a_open: bool, b: float, b_open: bool
+) -> tuple[float, bool]:
+    """One corner product with openness: attained iff both ends attained.
+
+    An attained zero is special: ``0 * y == 0`` for any ``y`` in the
+    other (non-empty) interval, so a closed zero endpoint yields an
+    attained zero regardless of the partner endpoint.
+    """
+    if (a == 0 and not a_open) or (b == 0 and not b_open):
+        return (0.0, False)
+    if a == 0 or b == 0:
+        return (0.0, True)
+    return (a * b, a_open or b_open)
+
+
+def _div_corner(
+    a: float, a_open: bool, b: float, b_open: bool, divisor_sign: float
+) -> tuple[float, bool]:
+    """One corner quotient of a zero-free divisor, with openness.
+
+    ``divisor_sign`` is the sign of the (zero-free) divisor interval; a
+    zero divisor endpoint is necessarily open and sends the quotient to
+    infinity on that side.  The ``inf/inf`` corner is path-dependent —
+    its ratios span everything between the adjacent corners — so it
+    contributes an (over-approximate, hence sound) open zero.
+    """
+    if a == 0:
+        # 0/y == 0 for every y in the divisor; attained iff a is.
+        return (0.0, a_open)
+    if b == 0:
+        return (math.copysign(1.0, a) * divisor_sign * _INF, True)
+    if math.isinf(a) and math.isinf(b):
+        return (0.0, True)
+    if math.isinf(b):
+        return (0.0, True)
+    if math.isinf(a):
+        return (a if b > 0 else -a, True)
+    return (a / b, a_open or b_open)
+
+
+def _inv_endpoint(value: float, is_open: bool, sign: float) -> tuple[float, bool]:
+    if value == 0:
+        # Only reachable with an open zero endpoint (no zero inside);
+        # it inverts to the signed infinity of the interval's side
+        # (1/0- = -inf for an all-negative interval).
+        return (sign * _INF, True)
+    if math.isinf(value):
+        return (0.0, True)
+    return (1.0 / value, is_open)
+
+
+# ---------------------------------------------------------------------------
+# The abstract environment
+# ---------------------------------------------------------------------------
+
+
+class Env:
+    """Name -> :class:`Interval`; absent names are TOP (unconstrained)."""
+
+    __slots__ = ("vars",)
+
+    def __init__(self, vars: "Optional[dict[str, Interval]]" = None):
+        self.vars: dict[str, Interval] = dict(vars or {})
+
+    def get(self, name: str) -> Interval:
+        return self.vars.get(name, TOP)
+
+    def set(self, name: str, interval: Interval) -> None:
+        if interval.is_top:
+            self.vars.pop(name, None)
+        else:
+            self.vars[name] = interval
+
+    def copy(self) -> "Env":
+        return Env(self.vars)
+
+    def join(self, other: "Env") -> "Env":
+        out: dict[str, Interval] = {}
+        for name in self.vars.keys() & other.vars.keys():
+            joined = self.vars[name].join(other.vars[name])
+            if not joined.is_top:
+                out[name] = joined
+        return Env(out)
+
+    def widen(self, newer: "Env") -> "Env":
+        out: dict[str, Interval] = {}
+        for name in self.vars.keys() & newer.vars.keys():
+            widened = self.vars[name].widen(newer.vars[name])
+            if not widened.is_top:
+                out[name] = widened
+        return Env(out)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Env) and self.vars == other.vars
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}: {v}" for k, v in sorted(self.vars.items()))
+        return f"Env({{{inner}}})"
+
+
+def _join_envs(*envs: "Optional[Env]") -> "Optional[Env]":
+    live = [e for e in envs if e is not None]
+    if not live:
+        return None
+    out = live[0]
+    for e in live[1:]:
+        out = out.join(e)
+    return out
+
+
+def _assigned_names(node: ast.AST) -> set[str]:
+    """Every Name bound by assignment/for/with anywhere under ``node``,
+    not descending into nested function/class scopes."""
+    out: set[str] = set()
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(child, ast.Name) and isinstance(
+            child.ctx, (ast.Store, ast.Del)
+        ):
+            out.add(child.id)
+        stack.extend(ast.iter_child_nodes(child))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The interpreter
+# ---------------------------------------------------------------------------
+
+#: Math-module functions with a monotone-increasing transfer function:
+#: name -> (callable, domain interval).
+_MONOTONE_MATH: Final = {
+    "sqrt": (math.sqrt, Interval(0.0, _INF, False, True)),
+    "log": (lambda x: math.log(x) if x > 0 else -_INF, Interval(0.0, _INF, True, True)),
+    "log2": (lambda x: math.log2(x) if x > 0 else -_INF, Interval(0.0, _INF, True, True)),
+    "log10": (lambda x: math.log10(x) if x > 0 else -_INF, Interval(0.0, _INF, True, True)),
+    "log1p": (lambda x: math.log1p(x) if x > -1 else -_INF, Interval(-1.0, _INF, True, True)),
+    "exp": (lambda x: math.exp(x) if x < 700 else _INF, TOP),
+}
+
+_MATH_CONSTANTS: Final = {
+    "inf": Interval(_INF, _INF, False, False),
+    "pi": Interval.point(math.pi),
+    "e": Interval.point(math.e),
+    "tau": Interval.point(math.tau),
+}
+
+
+class IntervalInterpreter:
+    """Flow-sensitive abstract execution of one function or module body.
+
+    Subclasses override the ``handle_*``/``*_interval`` hooks to plug in
+    whole-program knowledge and collect events; the base class is a pure
+    interpreter with no opinions about what is worth reporting.
+    """
+
+    def __init__(self) -> None:
+        self._break_envs: list[list[Env]] = []
+        self._continue_envs: list[list[Env]] = []
+
+    # -- client hooks --------------------------------------------------------
+
+    def handle_division(self, node: ast.AST, divisor: Interval) -> None:
+        """Every ``/``, ``//``, ``%`` with the divisor's interval."""
+
+    def handle_return(self, stmt: ast.Return, value: Interval) -> None:
+        """Every ``return expr`` with the returned interval."""
+
+    def handle_call(self, call: ast.Call, env: Env) -> None:
+        """Every call expression, after its arguments were evaluated."""
+
+    def call_interval(self, call: ast.Call, env: Env) -> Interval:
+        """Result interval of an unrecognized call (default: TOP)."""
+        return TOP
+
+    def attribute_interval(self, node: ast.Attribute, env: Env) -> Interval:
+        """Interval of an attribute read (default: TOP)."""
+        return TOP
+
+    def handle_assign(
+        self, target: ast.expr, value: Interval, stmt: ast.stmt, env: Env
+    ) -> None:
+        """Every single-target assignment, after evaluation."""
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt], env: Env) -> Optional[Env]:
+        """Execute a scope body; None means the exit is unreachable."""
+        return self._exec_block(body, env)
+
+    def _exec_block(
+        self, stmts: Iterable[ast.stmt], env: Optional[Env]
+    ) -> Optional[Env]:
+        for stmt in stmts:
+            if env is None:
+                return None
+            env = self._exec_stmt(stmt, env)
+        return env
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_stmt(self, stmt: ast.stmt, env: Env) -> Optional[Env]:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, stmt, env)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            value = self.eval(stmt.value, env) if stmt.value is not None else TOP
+            if stmt.value is not None:
+                self._bind(stmt.target, value, stmt, env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            current = self._read_target(stmt.target, env)
+            operand = self.eval(stmt.value, env)
+            result = self._binop_interval(stmt, stmt.op, current, operand)
+            self._bind(stmt.target, result, stmt, env)
+            return env
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, env)
+                self.handle_return(stmt, value)
+            return None
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, env)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt, env)
+        if isinstance(stmt, ast.While):
+            return self._exec_while(stmt, env)
+        if isinstance(stmt, ast.For):
+            return self._exec_for(stmt, env)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt, env)
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, TOP, stmt, env)
+            return self._exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, env)
+            return self.refine(env, stmt.test, True)
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.Break):
+            if self._break_envs:
+                self._break_envs[-1].append(env.copy())
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._continue_envs:
+                self._continue_envs[-1].append(env.copy())
+            return None
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            env.set(stmt.name, TOP)
+            return env
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.set(target.id, TOP)
+            return env
+        if isinstance(stmt, ast.Match):
+            self.eval(stmt.subject, env)
+            havoc = env.copy()
+            for name in _assigned_names(stmt):
+                havoc.set(name, TOP)
+            outs = [
+                self._exec_block(case.body, havoc.copy()) for case in stmt.cases
+            ]
+            return _join_envs(env, *outs)
+        # Import/Global/Nonlocal/Pass and anything exotic: no effect.
+        return env
+
+    def _exec_if(self, stmt: ast.If, env: Env) -> Optional[Env]:
+        self.eval(stmt.test, env)
+        then_env = self.refine(env.copy(), stmt.test, True)
+        else_env = self.refine(env.copy(), stmt.test, False)
+        out_then = self._exec_block(stmt.body, then_env)
+        out_else = self._exec_block(stmt.orelse, else_env)
+        return _join_envs(out_then, out_else)
+
+    def _exec_while(self, stmt: ast.While, env: Env) -> Optional[Env]:
+        self._break_envs.append([])
+        self._continue_envs.append([])
+        head = env.copy()
+        try:
+            for iteration in range(MAX_LOOP_PASSES):
+                self.eval(stmt.test, head)
+                body_in = self.refine(head.copy(), stmt.test, True)
+                self._continue_envs[-1] = []
+                body_out = self._exec_block(stmt.body, body_in)
+                body_out = _join_envs(body_out, *self._continue_envs[-1])
+                new_head = _join_envs(head, body_out)
+                assert new_head is not None  # head is always live
+                if new_head == head:
+                    break
+                head = head.widen(new_head) if iteration >= 2 else new_head
+            exit_env = self.refine(head.copy(), stmt.test, False)
+            if stmt.orelse and exit_env is not None:
+                exit_env = self._exec_block(stmt.orelse, exit_env)
+            return _join_envs(exit_env, *self._break_envs[-1])
+        finally:
+            self._break_envs.pop()
+            self._continue_envs.pop()
+
+    def _exec_for(self, stmt: ast.For, env: Env) -> Optional[Env]:
+        iter_interval = self._iterable_element_interval(stmt.iter, env)
+        self.eval(stmt.iter, env)
+        self._break_envs.append([])
+        self._continue_envs.append([])
+        head = env.copy()
+        try:
+            for iteration in range(MAX_LOOP_PASSES):
+                body_in = head.copy()
+                self._bind(stmt.target, iter_interval, stmt, body_in)
+                self._continue_envs[-1] = []
+                body_out = self._exec_block(stmt.body, body_in)
+                body_out = _join_envs(body_out, *self._continue_envs[-1])
+                new_head = _join_envs(head, body_out)
+                assert new_head is not None
+                if new_head == head:
+                    break
+                head = head.widen(new_head) if iteration >= 2 else new_head
+            exit_env: Optional[Env] = head
+            if stmt.orelse:
+                exit_env = self._exec_block(stmt.orelse, exit_env)
+            return _join_envs(exit_env, *self._break_envs[-1])
+        finally:
+            self._break_envs.pop()
+            self._continue_envs.pop()
+
+    def _iterable_element_interval(self, node: ast.expr, env: Env) -> Interval:
+        """Element interval of a ``for`` iterable: only range() is modeled."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "range"
+            and not node.keywords
+            and 1 <= len(node.args) <= 3
+        ):
+            args = [self.eval(a, env) for a in node.args]
+            if len(args) == 1:
+                start, stop = Interval.point(0.0), args[0]
+            else:
+                start, stop = args[0], args[1]
+            if start.is_empty or stop.is_empty:
+                return TOP
+            return Interval.make(start.lo, stop.hi, start.lo_open, True)
+        return TOP
+
+    def _exec_try(self, stmt: ast.Try, env: Env) -> Optional[Env]:
+        havoc = env.copy()
+        for name in _assigned_names(stmt):
+            havoc.set(name, TOP)
+        body_out = self._exec_block(stmt.body, env.copy())
+        if stmt.orelse and body_out is not None:
+            body_out = self._exec_block(stmt.orelse, body_out)
+        handler_outs = [
+            self._exec_block(handler.body, havoc.copy())
+            for handler in stmt.handlers
+        ]
+        merged = _join_envs(body_out, *handler_outs)
+        if stmt.finalbody:
+            if merged is None:
+                self._exec_block(stmt.finalbody, havoc.copy())
+                return None
+            merged = self._exec_block(stmt.finalbody, merged)
+        return merged
+
+    # -- binding -------------------------------------------------------------
+
+    def _bind(
+        self, target: ast.expr, value: Interval, stmt: ast.stmt, env: Env
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env.set(target.id, value)
+            self.handle_assign(target, value, stmt, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, TOP, stmt, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, TOP, stmt, env)
+        elif isinstance(target, ast.Attribute):
+            self.handle_assign(target, value, stmt, env)
+        # Subscript targets carry no name-level information.
+
+    def _read_target(self, target: ast.expr, env: Env) -> Interval:
+        if isinstance(target, ast.Name):
+            return env.get(target.id)
+        if isinstance(target, ast.Attribute):
+            return self.attribute_interval(target, env)
+        return TOP
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, node: Optional[ast.expr], env: Env) -> Interval:
+        if node is None:
+            return TOP
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return Interval.point(float(node.value))
+            if isinstance(node.value, (int, float)):
+                return Interval.point(float(node.value))
+            return TOP
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            root = node.value
+            if isinstance(root, ast.Name) and root.id == "math":
+                constant = _MATH_CONSTANTS.get(node.attr)
+                if constant is not None:
+                    return constant
+            return self.attribute_interval(node, env)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                return operand.neg()
+            if isinstance(node.op, ast.UAdd):
+                return operand
+            if isinstance(node.op, ast.Not):
+                return Interval.make(0.0, 1.0)
+            return TOP
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            return self._binop_interval(node, node.op, left, right, env)
+        if isinstance(node, ast.BoolOp):
+            values = [self.eval(v, env) for v in node.values]
+            out = values[0]
+            for v in values[1:]:
+                out = out.join(v)
+            return out
+        if isinstance(node, ast.Compare):
+            self.eval(node.left, env)
+            for comparator in node.comparators:
+                self.eval(comparator, env)
+            return Interval.make(0.0, 1.0)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            then_env = self.refine(env.copy(), node.test, True)
+            else_env = self.refine(env.copy(), node.test, False)
+            branches = []
+            if then_env is not None:
+                branches.append(self.eval(node.body, then_env))
+            if else_env is not None:
+                branches.append(self.eval(node.orelse, else_env))
+            if not branches:
+                return EMPTY
+            out = branches[0]
+            for b in branches[1:]:
+                out = out.join(b)
+            return out
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        # Subscripts, containers, comprehensions, f-strings, lambdas...:
+        # walk child expressions so nested divisions are still seen.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr) and not isinstance(node, ast.Lambda):
+                self.eval(child, env)
+        return TOP
+
+    def _binop_interval(
+        self,
+        node: ast.AST,
+        op: ast.operator,
+        left: Interval,
+        right: Interval,
+        env: Optional[Env] = None,
+    ) -> Interval:
+        if isinstance(op, ast.Add):
+            return left.add(right)
+        if isinstance(op, ast.Sub):
+            return left.sub(right)
+        if isinstance(op, ast.Mult):
+            return left.mul(right)
+        if isinstance(op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            self.handle_division(node, right)
+            if isinstance(op, ast.Div):
+                return left.div(right)
+            if isinstance(op, ast.FloorDiv):
+                return left.div(right).outward_int()
+            # x % y for y > 0 lies in [0, y.hi); otherwise unknown.
+            if not right.is_empty and right.lo >= 0 and not right.contains_zero:
+                return Interval.make(0.0, right.hi, False, True)
+            return TOP
+        if isinstance(op, ast.Pow):
+            return self._pow_interval(left, right)
+        return TOP
+
+    def _pow_interval(self, base: Interval, exponent: Interval) -> Interval:
+        if base.is_empty or exponent.is_empty:
+            return EMPTY
+        # b ** x for a constant b > 1: monotone-increasing exponential.
+        if base.is_point and base.lo > 1:
+            b = base.lo
+
+            def expb(x: float) -> float:
+                try:
+                    return b**x
+                except OverflowError:
+                    return _INF
+
+            return exponent.monotone(expb, TOP)
+        # x ** n for a constant non-negative even integer: non-negative —
+        # but only when x itself is at least partially known, so a fully
+        # unknown base cannot fabricate a provable lower bound.
+        if (
+            base.is_known
+            and exponent.is_point
+            and float(exponent.lo).is_integer()
+            and exponent.lo >= 0
+            and int(exponent.lo) % 2 == 0
+        ):
+            return Interval.make(0.0, _INF, False, True)
+        if base.is_known and base.lo >= 0 and exponent.lo >= 0:
+            return Interval.make(0.0, _INF, False, True)
+        return TOP
+
+    def _eval_call(self, call: ast.Call, env: Env) -> Interval:
+        args = [self.eval(a, env) for a in call.args if not isinstance(a, ast.Starred)]
+        for a in call.args:
+            if isinstance(a, ast.Starred):
+                self.eval(a.value, env)
+        for kw in call.keywords:
+            self.eval(kw.value, env)
+        self.handle_call(call, env)
+        func = call.func
+        simple = None
+        if isinstance(func, ast.Name):
+            simple = func.id
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "math":
+                simple = func.attr
+                if simple in _MONOTONE_MATH and len(args) == 1:
+                    fn, domain = _MONOTONE_MATH[simple]
+                    return args[0].monotone(fn, domain)
+                if simple == "fabs" and len(args) == 1:
+                    return args[0].absolute()
+                if simple in ("floor", "ceil", "trunc") and len(args) == 1:
+                    return args[0].outward_int()
+                if simple == "pow" and len(args) == 2:
+                    return self._pow_interval(args[0], args[1])
+                return self.call_interval(call, env)
+        if simple in ("min", "max") and len(args) >= 2 and not call.keywords:
+            out = args[0]
+            for other in args[1:]:
+                out = _interval_min(out, other) if simple == "min" else _interval_max(
+                    out, other
+                )
+            return out
+        if simple == "abs" and len(args) == 1:
+            return args[0].absolute()
+        if simple == "float" and len(args) == 1:
+            return args[0]
+        if simple in ("int", "round") and args:
+            return args[0].outward_int()
+        if simple == "len":
+            # len() >= 0 is true but useless here: the emptiness guards
+            # that protect divisions by len(xs) are container-truthiness
+            # tests this numeric analysis cannot see, so a known lower
+            # bound of 0 only produces false I001 findings.
+            return TOP
+        return self.call_interval(call, env)
+
+    # -- branch refinement ---------------------------------------------------
+
+    def refine(
+        self, env: Optional[Env], test: ast.expr, assume: bool
+    ) -> Optional[Env]:
+        """Assume ``test`` evaluates to ``assume``; None if contradictory."""
+        if env is None:
+            return None
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self.refine(env, test.operand, not assume)
+        if isinstance(test, ast.BoolOp):
+            conjunctive = isinstance(test.op, ast.And) == assume
+            if conjunctive:
+                # and/True, or/False: every refinement applies.
+                for value in test.values:
+                    env = self.refine(env, value, assume)
+                    if env is None:
+                        return None
+                return env
+            # and/False, or/True: one alternative holds — join them.
+            branches = [
+                self.refine(env.copy(), value, assume) for value in test.values
+            ]
+            return _join_envs(*branches)
+        if isinstance(test, ast.Compare):
+            return self._refine_compare(env, test, assume)
+        if isinstance(test, ast.Name):
+            interval = env.get(test.id)
+            if interval.is_top:
+                return env  # could be None/str/...; numeric truthiness unsafe
+            refined = (
+                interval.assume_ne(Interval.point(0.0))
+                if assume
+                else interval.meet(Interval.point(0.0))
+            )
+            if refined.is_empty:
+                return None
+            env.set(test.id, refined)
+            return env
+        if isinstance(test, ast.Constant):
+            truthy = bool(test.value)
+            return env if truthy == assume else None
+        return env
+
+    def _refine_compare(
+        self, env: Env, test: ast.Compare, assume: bool
+    ) -> Optional[Env]:
+        operands = [test.left, *test.comparators]
+        pairs = list(zip(test.ops, zip(operands, operands[1:])))
+        if not assume and len(pairs) > 1:
+            # Negating a chain is a disjunction; stay conservative.
+            return env
+        out: Optional[Env] = env
+        for op, (lhs, rhs) in pairs:
+            if out is None:
+                return None
+            out = self._refine_pair(out, op, lhs, rhs, assume)
+        return out
+
+    _FLIPPED = {
+        ast.Lt: ast.Gt,
+        ast.LtE: ast.GtE,
+        ast.Gt: ast.Lt,
+        ast.GtE: ast.LtE,
+        ast.Eq: ast.Eq,
+        ast.NotEq: ast.NotEq,
+    }
+    _NEGATED = {
+        ast.Lt: ast.GtE,
+        ast.LtE: ast.Gt,
+        ast.Gt: ast.LtE,
+        ast.GtE: ast.Lt,
+        ast.Eq: ast.NotEq,
+        ast.NotEq: ast.Eq,
+    }
+
+    def _refine_pair(
+        self,
+        env: Env,
+        op: ast.cmpop,
+        lhs: ast.expr,
+        rhs: ast.expr,
+        assume: bool,
+    ) -> Optional[Env]:
+        kind = type(op)
+        if kind not in self._FLIPPED:
+            return env
+        if not assume:
+            kind = self._NEGATED[kind]
+        env2 = self._refine_one_side(env, kind, lhs, rhs)
+        if env2 is None:
+            return None
+        return self._refine_one_side(env2, self._FLIPPED[kind], rhs, lhs)
+
+    def _refine_one_side(
+        self, env: Env, kind: type, name_side: ast.expr, bound_side: ast.expr
+    ) -> Optional[Env]:
+        if not isinstance(name_side, ast.Name):
+            return env
+        bound = self.eval(bound_side, env)
+        if bound.is_empty:
+            return None
+        current = env.get(name_side.id)
+        if kind is ast.Lt:
+            refined = current.assume_lt(bound)
+        elif kind is ast.LtE:
+            refined = current.assume_le(bound)
+        elif kind is ast.Gt:
+            refined = current.assume_gt(bound)
+        elif kind is ast.GtE:
+            refined = current.assume_ge(bound)
+        elif kind is ast.Eq:
+            refined = current.meet(bound)
+        elif kind is ast.NotEq:
+            refined = current.assume_ne(bound)
+        else:
+            return env
+        if refined.is_empty:
+            return None
+        env.set(name_side.id, refined)
+        return env
+
+
+def _interval_min(a: Interval, b: Interval) -> Interval:
+    if a.is_empty or b.is_empty:
+        return EMPTY
+    if a.lo < b.lo:
+        lo, lo_open = a.lo, a.lo_open
+    elif b.lo < a.lo:
+        lo, lo_open = b.lo, b.lo_open
+    else:
+        lo, lo_open = a.lo, a.lo_open and b.lo_open
+    if a.hi < b.hi:
+        hi, hi_open = a.hi, a.hi_open
+    elif b.hi < a.hi:
+        hi, hi_open = b.hi, b.hi_open
+    else:
+        hi, hi_open = a.hi, a.hi_open or b.hi_open
+    return Interval.make(lo, hi, lo_open, hi_open)
+
+
+def _interval_max(a: Interval, b: Interval) -> Interval:
+    return _interval_min(a.neg(), b.neg()).neg()

@@ -69,6 +69,17 @@ _ALIAS_UNITS = {
     "SecondsPerByte": Unit.of(s=1, byte=-1),
 }
 
+#: Contract aliases from :mod:`repro.contracts` carry a Unit too (they
+#: compose Unit + Range metadata), so a ``PositiveSeconds`` parameter
+#: anchors the unit inference exactly like a ``Seconds`` one.
+from repro.contracts import ALIAS_UNITS as _CONTRACT_ALIAS_UNITS  # noqa: E402
+
+#: Module prefixes an alias may resolve to, per alias table.
+_ALIAS_SOURCES: "tuple[tuple[dict[str, Unit], str], ...]" = (
+    (_ALIAS_UNITS, "repro.units"),
+    (_CONTRACT_ALIAS_UNITS, "repro.contracts"),
+)
+
 #: Conversion helpers in :mod:`repro.units`: call -> result unit.
 _CONVERSION_CALLS = {
     "bytes_to_bits": Unit.of(bit=1),
@@ -186,17 +197,21 @@ class UnitWorld:
         if name is None:
             return None
         leaf = name.split(".")[-1]
-        if leaf not in _ALIAS_UNITS:
-            return None
-        # Only honor the alias when it actually resolves to repro.units
-        # (or is used inside repro.units itself).
         head = name.split(".")[0]
         target = module.imports.get(head)
-        if target is None:
-            return _ALIAS_UNITS[leaf] if module.dotted == "repro.units" else None
-        full = target + ("." + ".".join(name.split(".")[1:]) if "." in name else "")
-        if full.startswith("repro.units"):
-            return _ALIAS_UNITS[leaf]
+        for aliases, source in _ALIAS_SOURCES:
+            if leaf not in aliases:
+                continue
+            # Only honor the alias when it actually resolves to its
+            # defining module (or is used inside that module itself).
+            if target is None:
+                return aliases[leaf] if module.dotted == source else None
+            full = target + (
+                "." + ".".join(name.split(".")[1:]) if "." in name else ""
+            )
+            if full.startswith(source):
+                return aliases[leaf]
+            return None
         return None
 
     def declared_unit(

@@ -10,6 +10,8 @@ Usage::
     python -m repro.lint src --baseline lint-baseline.json
     python -m repro.lint src --write-baseline lint-baseline.json
     python -m repro.lint --list-rules
+    python -m repro.lint --explain I001       # rationale + examples
+    python -m repro.lint src --stats          # per-rule wall time
 
 Exit status: 0 clean, 1 findings, 2 usage error.  Inline suppressions
 use ``# simlint: disable=CODE`` (``CODE(reason)`` where a justification
@@ -33,6 +35,49 @@ from repro.lint.registry import RULES, resolve_codes
 from repro.lint.sarif import to_sarif
 
 __all__ = ["main"]
+
+
+def _explain_rule(code: str) -> "str | None":
+    """The ``--explain`` text for one rule code; None when unknown."""
+    r = RULES.get(code.upper())
+    if r is None:
+        return None
+    lines = [f"{r.code}: {r.summary}", ""]
+    rationale = r.rationale or (type(r).__doc__ or "").strip()
+    if rationale:
+        lines.append(rationale)
+        lines.append("")
+    if r.scope:
+        lines.append(f"Scope: {', '.join(r.scope)}")
+    if r.requires_reason:
+        lines.append(
+            "Suppressing this rule requires a justification: "
+            f"# simlint: disable={r.code}(reason)"
+        )
+    if r.scope or r.requires_reason:
+        lines.append("")
+    if r.bad_example:
+        lines.append("Bad:")
+        lines.extend("    " + line for line in r.bad_example.rstrip().splitlines())
+        lines.append("")
+    if r.good_example:
+        lines.append("Good:")
+        lines.extend("    " + line for line in r.good_example.rstrip().splitlines())
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _format_stats(timings: "dict[str, float]") -> str:
+    lines = ["per-rule wall time:"]
+    total = sum(timings.values())
+    for code, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {code}  {seconds * 1000.0:8.1f} ms")
+    lines.append(f"  all  {total * 1000.0:8.1f} ms")
+    lines.append(
+        "  (a project rule that triggers a shared analysis build pays "
+        "for it; later rules reuse the cache)"
+    )
+    return "\n".join(lines)
 
 
 def _list_rules() -> str:
@@ -99,10 +144,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="describe every registered rule and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print one rule's rationale and a minimal good/bad example, "
+        "then exit",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="report per-rule wall time after linting (text format only)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(_list_rules())
+        return 0
+
+    if args.explain is not None:
+        text = _explain_rule(args.explain)
+        if text is None:
+            from repro.lint.registry import all_codes
+
+            print(
+                f"repro.lint: unknown rule code {args.explain!r}; "
+                f"available: {', '.join(all_codes())}",
+                file=sys.stderr,
+            )
+            return 2
+        print(text, end="")
         return 0
 
     try:
@@ -161,6 +231,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"simlint: {summary} in {report.files_checked} file(s)"
         f"{suppressed}{baselined}"
     )
+    if args.stats:
+        print(_format_stats(report.timings))
     return 0 if report.ok else 1
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import ast
 import os
 import pathlib
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
@@ -34,6 +35,7 @@ from repro.lint.registry import RULES, Rule
 from repro.lint.suppress import SuppressionIndex, parse_suppressions
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.analysis.contracts import IntervalEvent
     from repro.lint.analysis.purity import PurityAnalysis
     from repro.lint.analysis.symbols import Program
     from repro.lint.analysis.unitcheck import UnitEvent
@@ -114,6 +116,7 @@ class LintContext:
         self.files = list(files)
         self._program: Optional["Program"] = None
         self._unit_events: dict[tuple[str, ...], list["UnitEvent"]] = {}
+        self._interval_events: dict[tuple[str, ...], list["IntervalEvent"]] = {}
         self._purity: Optional["PurityAnalysis"] = None
 
     @property
@@ -133,6 +136,17 @@ class LintContext:
 
             self._unit_events[key] = analyze_units(self.program, self.files, key)
         return self._unit_events[key]
+
+    def interval_events(self, scope: Sequence[str]) -> list["IntervalEvent"]:
+        """Interval/contract events for files inside ``scope`` packages."""
+        key = tuple(scope)
+        if key not in self._interval_events:
+            from repro.lint.analysis.contracts import analyze_contracts
+
+            self._interval_events[key] = analyze_contracts(
+                self.program, self.files, key
+            )
+        return self._interval_events[key]
 
     @property
     def purity(self) -> "PurityAnalysis":
@@ -155,6 +169,10 @@ class LintReport:
     baselined: int = 0
     #: Human descriptions of baseline entries nothing matched anymore.
     stale_baseline: list[str] = field(default_factory=list)
+    #: Wall time spent per rule code, in seconds (``--stats``).  A
+    #: project rule that triggers a shared LintContext analysis build
+    #: pays for that build; later rules reusing the cache read ~0.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -253,6 +271,7 @@ def lint_files(
     rules = _active_rules(select, ignore)
 
     raw: list[tuple[Rule, Finding]] = []
+    timings = report.timings
     for src in files:
         if src.parse_error is not None:
             report.findings.append(
@@ -262,15 +281,23 @@ def lint_files(
         for r in rules:
             if r.project or not r.applies(src.path):
                 continue
+            started = time.perf_counter()
             for finding in r.check_file(src):
                 raw.append((r, finding))
+            timings[r.code] = timings.get(r.code, 0.0) + (
+                time.perf_counter() - started
+            )
     parseable = [src for src in files if src.parse_error is None]
     context = LintContext(parseable)
     for r in rules:
         if not r.project:
             continue
+        started = time.perf_counter()
         for finding in r.check_project(parseable, context):
             raw.append((r, finding))
+        timings[r.code] = timings.get(r.code, 0.0) + (
+            time.perf_counter() - started
+        )
 
     for r, finding in raw:
         kept = _admit(finding, r, by_path, report)

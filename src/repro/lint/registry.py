@@ -53,6 +53,12 @@ class Rule:
     requires_reason: bool = False
     #: Project rules see every file at once instead of one at a time.
     project: bool = False
+    #: Optional ``--explain`` metadata: why the rule exists, plus a
+    #: minimal failing example and its corrected counterpart.  Rules
+    #: without explicit metadata fall back to their class docstring.
+    rationale: str = ""
+    bad_example: str = ""
+    good_example: str = ""
 
     def applies(self, path: str) -> bool:
         if self.allowlist and in_package(path, *self.allowlist):

@@ -4,6 +4,7 @@ from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     determinism,
     exceptions,
     hashing,
+    intervals,
     picklability,
     purity,
     registry_consistency,
@@ -15,6 +16,7 @@ __all__ = [
     "determinism",
     "exceptions",
     "hashing",
+    "intervals",
     "picklability",
     "purity",
     "registry_consistency",

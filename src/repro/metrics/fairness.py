@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.telemetry.measures import FlowMetrics
-from repro.units import BitsPerSecond, Ratio, Seconds
+from repro.contracts import PositiveRate, PositiveSeconds, Probability
+from repro.units import Seconds
 
 __all__ = [
     "jain_index",
@@ -20,7 +21,7 @@ __all__ = [
 ]
 
 
-def jain_index(rates: Sequence[float]) -> Ratio:
+def jain_index(rates: Sequence[float]) -> Probability:
     """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]."""
     if not rates:
         raise ValueError("need at least one rate")
@@ -38,7 +39,7 @@ def normalized_shares(
     flow_ids: Sequence[int],
     start: Seconds,
     end: Seconds,
-    fair_share_bps: BitsPerSecond,
+    fair_share_bps: PositiveRate,
 ) -> list[float]:
     """Per-flow throughput normalized by a fair share (1.0 = exactly fair)."""
     if fair_share_bps <= 0:
@@ -55,8 +56,8 @@ def delta_fair_convergence_time(
     flow_b: int,
     start: Seconds,
     end: Seconds,
-    delta: Ratio = 0.1,
-    window_s: Seconds = 0.5,
+    delta: Probability = 0.1,
+    window_s: PositiveSeconds = 0.5,
     sustain_windows: int = 1,
 ) -> Optional[Seconds]:
     """Time from ``start`` until the flows share the link δ-fairly.

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.telemetry.measures import FlowMetrics
-from repro.units import Ratio, Seconds
+from repro.contracts import NonNegRatio, PositiveSeconds
+from repro.units import Seconds
 
 __all__ = ["SmoothnessResult", "rate_bins", "smoothness", "coefficient_of_variation"]
 
@@ -32,7 +33,7 @@ class SmoothnessResult:
 def rate_bins(
     accountant: FlowMetrics,
     flow_id: int,
-    bin_s: Seconds,
+    bin_s: PositiveSeconds,
     start: Seconds,
     end: Seconds,
 ) -> list[float]:
@@ -73,7 +74,7 @@ def smoothness(rates: Sequence[float]) -> SmoothnessResult:
     )
 
 
-def coefficient_of_variation(rates: Sequence[float]) -> Ratio:
+def coefficient_of_variation(rates: Sequence[float]) -> NonNegRatio:
     """Std-dev over mean of the rate sequence (0 = perfectly smooth)."""
     if not rates:
         raise ValueError("need at least one rate sample")

@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 
 from repro.telemetry.measures import LinkMetrics
+from repro.contracts import NonNegSeconds, PositiveSeconds, Probability
 from repro.units import Ratio, Seconds
 
 __all__ = ["StabilizationResult", "measure_stabilization"]
@@ -33,9 +34,9 @@ class StabilizationResult:
 
 def measure_stabilization(
     monitor: LinkMetrics,
-    congestion_start: Seconds,
-    steady_loss_rate: Ratio,
-    rtt_s: Seconds,
+    congestion_start: NonNegSeconds,
+    steady_loss_rate: Probability,
+    rtt_s: PositiveSeconds,
     end: Seconds,
     threshold: float = 1.5,
     window_rtts: int = 10,

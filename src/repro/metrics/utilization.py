@@ -11,7 +11,8 @@ from typing import Sequence
 
 from repro.telemetry.measures import FlowMetrics, LinkMetrics
 from repro.sim.tracing import TimeSeries
-from repro.units import BitsPerSecond, Ratio, Seconds
+from repro.contracts import PositiveSeconds
+from repro.units import Ratio, Seconds
 
 __all__ = ["f_of_k", "flows_f_of_k", "utilization_series"]
 
@@ -20,7 +21,7 @@ def f_of_k(
     monitor: LinkMetrics,
     event_time: Seconds,
     k: int,
-    rtt_s: Seconds,
+    rtt_s: PositiveSeconds,
 ) -> Ratio:
     """Link utilization over the first k RTTs after ``event_time``."""
     if k < 1:
@@ -54,7 +55,7 @@ def flows_f_of_k(
 
 
 def utilization_series(
-    monitor: LinkMetrics, window_s: Seconds, start: Seconds, end: Seconds
+    monitor: LinkMetrics, window_s: PositiveSeconds, start: Seconds, end: Seconds
 ) -> TimeSeries:
     """Windowed link utilization samples over [start, end)."""
     series = TimeSeries("utilization")

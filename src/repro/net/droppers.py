@@ -19,7 +19,8 @@ from typing import Callable, Optional, Sequence
 from repro.net.packet import Packet
 from repro.sim.rng import deterministic_default_rng
 from repro.telemetry.probes import CounterProbe
-from repro.units import Ratio, Seconds
+from repro.contracts import NonNegSeconds, PositiveSeconds, Probability
+from repro.units import Seconds
 
 __all__ = [
     "Dropper",
@@ -176,9 +177,9 @@ class TimedDropper(Dropper):
 
     def __init__(
         self,
-        interval_s: Seconds,
+        interval_s: PositiveSeconds,
         clock: Callable[[], float],
-        start_at: Seconds = 0.0,
+        start_at: NonNegSeconds = 0.0,
     ):
         super().__init__(clock)
         if interval_s <= 0:
@@ -201,7 +202,7 @@ class BernoulliDropper(Dropper):
 
     def __init__(
         self,
-        p: Ratio,
+        p: Probability,
         rng: Optional[random.Random] = None,
         clock: Optional[Callable[[], float]] = None,
     ):

@@ -14,7 +14,8 @@ from typing import Callable, Optional
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue, QueueDiscipline
 from repro.sim.engine import Simulator
-from repro.units import BitsPerSecond, Bytes, Ratio, Seconds
+from repro.contracts import NonNegRatio, NonNegSeconds, PositiveRate
+from repro.units import Bytes, Seconds
 
 __all__ = ["Link"]
 
@@ -49,8 +50,8 @@ class Link:
     def __init__(
         self,
         sim: Simulator,
-        bandwidth_bps: BitsPerSecond,
-        delay_s: Seconds,
+        bandwidth_bps: PositiveRate,
+        delay_s: NonNegSeconds,
         queue: Optional[QueueDiscipline] = None,
         name: str = "link",
     ):
@@ -140,7 +141,7 @@ class Link:
 
     def utilization(
         self, start: Seconds, end: Seconds, bytes_in_window: Bytes
-    ) -> Ratio:
+    ) -> NonNegRatio:
         """Fraction of capacity used by ``bytes_in_window`` over [start, end)."""
         capacity_bytes = self.bandwidth_bps * (end - start) / 8.0
         return bytes_in_window / capacity_bytes if capacity_bytes > 0 else 0.0

@@ -19,7 +19,15 @@ from typing import Optional
 from repro.net.packet import Packet
 from repro.net.queue import QueueDiscipline
 from repro.sim.rng import deterministic_default_rng
-from repro.units import BitsPerSecond, Bytes, Packets, Ratio, Seconds
+from repro.contracts import (
+    NonNegSeconds,
+    PositiveBytes,
+    PositiveRate,
+    PositiveRatio,
+    PositiveSeconds,
+    Probability,
+)
+from repro.units import Packets
 
 __all__ = ["REDQueue", "red_for_bdp"]
 
@@ -56,12 +64,12 @@ class REDQueue(QueueDiscipline):
         capacity_pkts: int,
         min_thresh: Packets,
         max_thresh: Packets,
-        max_p: Ratio = 0.1,
+        max_p: Probability = 0.1,
         weight: float = 0.002,
         gentle: bool = True,
         rng: Optional[random.Random] = None,
-        mean_packet_size: Bytes = 1000,
-        bandwidth_bps: BitsPerSecond = 10e6,
+        mean_packet_size: PositiveBytes = 1000,
+        bandwidth_bps: PositiveRate = 10e6,
         ecn_marking: bool = False,
     ):
         super().__init__(capacity_pkts)
@@ -99,7 +107,7 @@ class REDQueue(QueueDiscipline):
             self._idle_since = None
         self.avg += self.weight * (q - self.avg)
 
-    def _drop_probability(self) -> float:
+    def _drop_probability(self) -> Probability:
         """Early-drop probability for the current average queue size."""
         if self.avg < self.min_thresh:
             return 0.0
@@ -166,12 +174,12 @@ class REDQueue(QueueDiscipline):
 
 
 def red_for_bdp(
-    bandwidth_bps: BitsPerSecond,
-    rtt_s: Seconds,
-    packet_size: Bytes = 1000,
-    queue_bdp: Ratio = 2.5,
-    min_thresh_bdp: Ratio = 0.25,
-    max_thresh_bdp: Ratio = 1.25,
+    bandwidth_bps: PositiveRate,
+    rtt_s: PositiveSeconds,
+    packet_size: PositiveBytes = 1000,
+    queue_bdp: PositiveRatio = 2.5,
+    min_thresh_bdp: PositiveRatio = 0.25,
+    max_thresh_bdp: PositiveRatio = 1.25,
     rng: Optional[random.Random] = None,
     ecn_marking: bool = False,
 ) -> REDQueue:

@@ -47,6 +47,8 @@ import math
 from collections import deque
 from typing import Any, Callable, Optional
 
+from repro.contracts import NonNegSeconds
+
 __all__ = ["Event", "Simulator", "Timer", "SimulationError"]
 
 _heappush = heapq.heappush
@@ -202,7 +204,7 @@ class Simulator:
                 self._ready.extend(live)
             self._cancelled = 0
 
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def schedule(self, delay: NonNegSeconds, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
@@ -220,7 +222,7 @@ class Simulator:
             _heappush(self._heap, (time, seq, event))
         return event
 
-    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def at(self, time: NonNegSeconds, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run at absolute time ``time``."""
         now = self.now
         if not time >= now:
@@ -242,7 +244,7 @@ class Simulator:
             _heappush(self._heap, (time, seq, event))
         return event
 
-    def call_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+    def call_in(self, delay: NonNegSeconds, fn: Callable[..., Any], *args: Any) -> None:
         """Fire-and-forget :meth:`schedule`: no :class:`Event` is built.
 
         For hot callers that never cancel (per-packet link events).  The
@@ -262,7 +264,7 @@ class Simulator:
         else:
             _heappush(self._heap, (time, seq, fn, args))
 
-    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+    def call_at(self, time: NonNegSeconds, fn: Callable[..., Any], *args: Any) -> None:
         """Fire-and-forget :meth:`at` (see :meth:`call_in`)."""
         now = self.now
         if not time >= now:
@@ -367,7 +369,7 @@ class Timer:
             return self._event.time
         return None
 
-    def schedule(self, delay: float) -> None:
+    def schedule(self, delay: NonNegSeconds) -> None:
         """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
         self.cancel()
         self._event = self._sim.schedule(delay, self._fire)

@@ -1,0 +1,15 @@
+"""Fixture: division by a value whose interval provably includes zero."""
+
+from repro.contracts import Probability
+
+
+def inverse_loss(p: Probability) -> float:
+    # p is contracted to [0, 1]: the divisor interval includes 0 and no
+    # guard dominates the division.
+    return 1.5 / p
+
+
+def stride(count: float) -> float:
+    # The clamp bounds the divisor to [0, 4] — zero is still attainable.
+    width = min(max(count, 0.0), 4.0)
+    return 100.0 / width

@@ -1,0 +1,23 @@
+"""Fixture: divisions whose divisors are provably bounded away from zero."""
+
+from repro.contracts import Probability
+
+
+def inverse_loss(p: Probability) -> float:
+    # The raise dominates the division: on the fall-through path p is
+    # refined to (0, 1], which excludes zero.
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    return 1.5 / p
+
+
+def clamped_inverse(p: Probability) -> float:
+    # Clamping from below bounds the divisor away from zero.
+    q = max(p, 1e-9)
+    return 1.5 / q
+
+
+def tested_divisor(x: float) -> float:
+    if x > 2.0:
+        return 1.0 / x
+    return 0.0

@@ -1,0 +1,17 @@
+"""Fixture: values provably escaping a Range contract at param/return."""
+
+from repro.contracts import Probability
+
+
+def response(p: Probability) -> float:
+    return 3.0 * p
+
+
+def caller() -> float:
+    # 1.5 is provably outside the parameter's [0, 1] contract.
+    return response(1.5)
+
+
+def bad_return() -> Probability:
+    # -0.25 is provably outside the declared [0, 1] return contract.
+    return -0.25

@@ -1,0 +1,15 @@
+"""Fixture: contracted calls and returns that provably stay in range."""
+
+from repro.contracts import Probability
+
+
+def response(p: Probability) -> float:
+    return 3.0 * p
+
+
+def caller() -> float:
+    return response(0.25)
+
+
+def good_return(x: float) -> Probability:
+    return min(max(x, 0.0), 1.0)

@@ -1,0 +1,14 @@
+"""Fixture: provably negative delays handed to scheduling APIs."""
+
+
+class Flow:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def start(self) -> None:
+        # A negative delay always raises SimulationError at runtime.
+        self.sim.call_in(-0.5, self.start)
+
+    def rearm(self, timer, rtt: float) -> None:
+        backoff = 0.0 - 1.0
+        timer.schedule(backoff)

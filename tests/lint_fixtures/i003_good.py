@@ -1,0 +1,14 @@
+"""Fixture: scheduling with provably non-negative delays."""
+
+
+class Flow:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def start(self) -> None:
+        # Zero delays are legal: the kernel runs same-time events in
+        # FIFO order.
+        self.sim.call_in(0.0, self.start)
+
+    def rearm(self, timer, delay: float) -> None:
+        timer.schedule(max(delay, 0.0))

@@ -1,0 +1,8 @@
+"""Fixture: clamp bounds drifting outside the declared Range contract."""
+
+from repro.contracts import Probability
+
+
+def clamped_loss(x: float) -> Probability:
+    # The clamp admits [-0.5, 2.0], drifting outside the declared [0, 1].
+    return min(max(x, -0.5), 2.0)

@@ -1,0 +1,7 @@
+"""Fixture: clamp bounds that agree with the declared Range contract."""
+
+from repro.contracts import Probability
+
+
+def clamped_loss(x: float) -> Probability:
+    return min(max(x, 0.0), 1.0)

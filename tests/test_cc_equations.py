@@ -118,3 +118,12 @@ class TestAimdWithTimeouts:
             aimd_with_timeouts_rate(0.0)
         with pytest.raises(ValueError):
             aimd_with_timeouts_rate(1.0)
+
+    def test_underflows_to_zero_near_certain_loss(self):
+        # p -> 1 means ~1/(1-p) exponential timer doublings: 2**(1/(1-p))
+        # overflows a float long before p reaches 1.  The documented
+        # behavior is a hard zero, not an OverflowError.
+        assert aimd_with_timeouts_rate(1.0 - 1e-4) == 0.0
+        assert aimd_with_timeouts_rate(1.0 - 1e-12) == 0.0
+        # Just below the overflow knee the rate is tiny but positive.
+        assert 0.0 < aimd_with_timeouts_rate(0.99) < 1e-2

@@ -221,3 +221,25 @@ class TestOscillationPrevention:
         sim = Simulator()
         sender, _ = new_tfrc_flow(sim)
         assert not sender.oscillation_prevention
+
+
+class TestConstructorValidation:
+    """Non-positive timing/size parameters fail fast instead of seeding
+    divisions by zero deep inside the rate equation."""
+
+    def test_rejects_non_positive_initial_rtt(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="initial_rtt"):
+            TfrcSender(sim, initial_rtt=0.0)
+        with pytest.raises(ValueError, match="initial_rtt"):
+            TfrcSender(sim, initial_rtt=-0.1)
+
+    def test_rejects_non_positive_packet_size(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="packet_size"):
+            TfrcSender(sim, packet_size=0)
+
+    def test_valid_parameters_accepted(self):
+        sim = Simulator()
+        sender = TfrcSender(sim, packet_size=500, initial_rtt=0.2)
+        assert sender.rtt == 0.2

@@ -388,6 +388,10 @@ class TestEngine:
             "U004",
             "F001",
             "F002",
+            "I001",
+            "I002",
+            "I003",
+            "I004",
         }
 
 
@@ -442,6 +446,34 @@ class TestCli:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in RULES:
+            assert code in out
+
+    def test_explain_prints_rationale_and_examples(self, capsys):
+        assert main(["--explain", "I001"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("I001: ")
+        assert "Bad:" in out
+        assert "Good:" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["--explain", "i002"]) == 0
+        assert capsys.readouterr().out.startswith("I002: ")
+
+    def test_explain_unknown_code_is_usage_error(self, capsys):
+        assert main(["--explain", "Z999"]) == 2
+        err = capsys.readouterr().err
+        assert "Z999" in err
+        assert "available" in err
+
+    def test_stats_reports_per_rule_wall_time(self, tmp_path, capsys):
+        # The bad tree sits in E001's scope, so both a per-file rule
+        # (E001) and a project rule (I001) accumulate wall time.
+        rc = main([str(self._bad_tree(tmp_path)), "--stats"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "per-rule wall time:" in out
+        assert " ms" in out
+        for code in ("I001", "E001"):
             assert code in out
 
 
